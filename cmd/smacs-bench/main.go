@@ -1,0 +1,96 @@
+// Command smacs-bench regenerates the paper's evaluation tables and
+// figures (§ VI) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	smacs-bench -all             # everything (Fig. 9 up to 10^5 requests)
+//	smacs-bench -all -quick      # everything, smaller workloads
+//	smacs-bench -table 2         # Tab. II only (also: 3, 4)
+//	smacs-bench -figure 8        # Fig. 8 only (also: 9)
+//	smacs-bench -tools           # § VI-B runtime-verification throughput
+//	smacs-bench -baseline        # E7 on-chain whitelist baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate one table (2, 3, or 4)")
+		figure   = flag.Int("figure", 0, "regenerate one figure (8 or 9)")
+		tools    = flag.Bool("tools", false, "regenerate the § VI-B tool measurements")
+		baseline = flag.Bool("baseline", false, "run the on-chain whitelist baseline (E7)")
+		missrate = flag.Bool("missrate", false, "run the § IV-C bitmap-size vs miss-rate tradeoff")
+		all      = flag.Bool("all", false, "regenerate everything")
+		quick    = flag.Bool("quick", false, "smaller workloads (Fig. 9 to 10^3, baseline to 1000)")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of the paper-layout tables")
+	)
+	flag.Parse()
+
+	if !*all && *table == 0 && *figure == 0 && !*tools && !*baseline && !*missrate {
+		*all = true
+	}
+	if err := run(*table, *figure, *tools, *baseline, *missrate, *all, *quick, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "smacs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, tools, baseline, missrate, all, quick, asJSON bool) error {
+	type job struct {
+		enabled bool
+		run     func() (interface{ Format() string }, error)
+	}
+	fig9Exp := 5
+	baselineSizes := []int{100, 1000, 7473, 10000}
+	toolReqs := 100
+	missTokens := 2000
+	if quick {
+		fig9Exp = 3
+		baselineSizes = []int{100, 1000}
+		toolReqs = 25
+		missTokens = 500
+	}
+	jobs := []job{
+		{all || table == 2, func() (interface{ Format() string }, error) { return bench.TableII() }},
+		{all || table == 3, func() (interface{ Format() string }, error) { return bench.TableIII() }},
+		{all || table == 4, func() (interface{ Format() string }, error) { return bench.TableIV() }},
+		{all || figure == 8, func() (interface{ Format() string }, error) { return bench.Figure8() }},
+		{all || figure == 9, func() (interface{ Format() string }, error) { return bench.Figure9(fig9Exp) }},
+		{all || tools, func() (interface{ Format() string }, error) { return bench.RuntimeTools(toolReqs) }},
+		{all || baseline, func() (interface{ Format() string }, error) { return bench.Baseline(baselineSizes) }},
+		{all || missrate, func() (interface{ Format() string }, error) {
+			return bench.MissRate(missTokens, 35, 60, nil)
+		}},
+	}
+	ran := false
+	for _, j := range jobs {
+		if !j.enabled {
+			continue
+		}
+		res, err := j.run()
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			enc, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(enc))
+		} else {
+			fmt.Println(res.Format())
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("nothing selected: table=%d figure=%d", table, figure)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command smacs-client requests a token from a running Token Service over
+// HTTP and prints the 86-byte token (hex) ready to embed in a transaction.
+//
+// Usage:
+//
+//	smacs-client -ts http://127.0.0.1:8546 -type super \
+//	             -contract 0x01.. -sender 0xc1..
+//	smacs-client -ts ... -type method -contract 0x.. -sender 0x.. \
+//	             -method "withdraw()"
+//	smacs-client -ts ... -type argument -contract 0x.. -sender 0x.. \
+//	             -method transfer -arg to:address:0xdd.. -arg amount:uint256:42 \
+//	             -one-time
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tshttp"
+	"repro/internal/types"
+)
+
+// argFlags collects repeated -arg name:kind:value flags.
+type argFlags []tshttp.WireArg
+
+func (a *argFlags) String() string { return fmt.Sprintf("%v", []tshttp.WireArg(*a)) }
+
+func (a *argFlags) Set(s string) error {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("want name:kind:value, got %q", s)
+	}
+	*a = append(*a, tshttp.WireArg{Name: parts[0], Kind: parts[1], Value: parts[2]})
+	return nil
+}
+
+func main() {
+	var (
+		tsURL    = flag.String("ts", "http://127.0.0.1:8546", "Token Service base URL")
+		tpName   = flag.String("type", "super", "token type: super | method | argument")
+		contract = flag.String("contract", "", "target contract address (cAddr)")
+		sender   = flag.String("sender", "", "client account address (sAddr)")
+		method   = flag.String("method", "", "method name or canonical signature (methodId)")
+		oneTime  = flag.Bool("one-time", false, "request the one-time property")
+		args     argFlags
+	)
+	flag.Var(&args, "arg", "argument as name:kind:value (repeatable; kinds: address, uint256, bool, bytes, string)")
+	flag.Parse()
+
+	if err := run(*tsURL, *tpName, *contract, *sender, *method, *oneTime, args); err != nil {
+		fmt.Fprintln(os.Stderr, "smacs-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tsURL, tpName, contract, sender, method string, oneTime bool, args argFlags) error {
+	cAddr, err := types.HexToAddress(contract)
+	if err != nil {
+		return fmt.Errorf("-contract: %w", err)
+	}
+	sAddr, err := types.HexToAddress(sender)
+	if err != nil {
+		return fmt.Errorf("-sender: %w", err)
+	}
+	var tp core.TokenType
+	switch strings.ToLower(tpName) {
+	case "super":
+		tp = core.SuperType
+	case "method":
+		tp = core.MethodType
+	case "argument":
+		tp = core.ArgumentType
+	default:
+		return fmt.Errorf("-type: unknown token type %q", tpName)
+	}
+
+	req := &core.Request{
+		Type:     tp,
+		Contract: cAddr,
+		Sender:   sAddr,
+		Method:   method,
+		OneTime:  oneTime,
+	}
+	for _, a := range args {
+		v, err := tshttp.DecodeArg(a)
+		if err != nil {
+			return err
+		}
+		req.Args = append(req.Args, core.NamedArg{Name: a.Name, Value: v})
+	}
+
+	client := tshttp.NewClient(tsURL, "")
+	info, err := client.Info()
+	if err != nil {
+		return fmt.Errorf("reach token service: %w", err)
+	}
+	tk, err := client.RequestToken(req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("token service:  %s\n", info.Address)
+	fmt.Printf("token type:     %s\n", tk.Type)
+	fmt.Printf("expires:        %s\n", tk.Expire.UTC().Format("2006-01-02 15:04:05 MST"))
+	if tk.OneTime() {
+		fmt.Printf("one-time index: %d\n", tk.Index)
+	}
+	fmt.Printf("token (hex):    %s\n", hex.EncodeToString(tk.Encode()))
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/secp256k1"
+	"repro/internal/ts"
+	"repro/internal/tshttp"
+)
+
+func TestArgFlagsParsing(t *testing.T) {
+	var args argFlags
+	good := []string{
+		"to:address:0x0000000000000000000000000000000000000001",
+		"amount:uint256:42",
+		"note:string:hello:world", // value may itself contain colons
+	}
+	for _, g := range good {
+		if err := args.Set(g); err != nil {
+			t.Errorf("Set(%q): %v", g, err)
+		}
+	}
+	if len(args) != 3 {
+		t.Fatalf("parsed %d args", len(args))
+	}
+	if args[2].Value != "hello:world" {
+		t.Errorf("colon-containing value mangled: %q", args[2].Value)
+	}
+	if err := args.Set("missing-kind"); err == nil {
+		t.Error("malformed -arg accepted")
+	}
+	if args.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestRunAgainstLiveService(t *testing.T) {
+	svc, err := ts.New(ts.Config{Key: secp256k1.PrivateKeyFromSeed([]byte("cli test"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tshttp.NewServer(svc, "").Handler())
+	defer srv.Close()
+
+	err = run(srv.URL, "method",
+		"0x0000000000000000000000000000000000000001",
+		"0x00000000000000000000000000000000000000c1",
+		"withdraw()", false, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	// Argument token with typed args.
+	var args argFlags
+	if err := args.Set("n:uint256:7"); err != nil {
+		t.Fatal(err)
+	}
+	err = run(srv.URL, "argument",
+		"0x0000000000000000000000000000000000000001",
+		"0x00000000000000000000000000000000000000c1",
+		"act", true, args)
+	if err != nil {
+		t.Fatalf("argument run: %v", err)
+	}
+
+	// Bad inputs surface as errors.
+	if err := run(srv.URL, "bogus-type", "0x01", "0xc1", "", false, nil); err == nil {
+		t.Error("unknown token type accepted")
+	}
+	if err := run(srv.URL, "super", "not-hex!", "0xc1", "", false, nil); err == nil {
+		t.Error("bad contract address accepted")
+	}
+	if err := run("http://127.0.0.1:1", "super",
+		"0x0000000000000000000000000000000000000001",
+		"0x00000000000000000000000000000000000000c1", "", false, nil); err == nil {
+		t.Error("unreachable service not reported")
+	}
+}

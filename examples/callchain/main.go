@@ -1,0 +1,87 @@
+// Call chains with token arrays (§ IV-D, Fig. 5).
+//
+// A transaction into SCA triggers SCA→SCB→SCC; all three contracts are
+// SMACS-enabled, so the client obtains one token per contract and embeds
+// the address-tagged array SCA:tkA ‖ SCB:tkB ‖ SCC:tkC. Each contract
+// extracts and verifies its own entry. The demo then drops SCB's token to
+// show the chain failing exactly at the unauthorized hop.
+//
+//	go run ./examples/callchain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	smacs "repro"
+	"repro/internal/contracts"
+	"repro/internal/evm"
+	"repro/internal/gas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	chain := smacs.NewChain(smacs.DefaultChainConfig())
+	owner := smacs.NewWalletFromSeed("chain-owner", chain)
+	client := smacs.NewWalletFromSeed("chain-client", chain)
+	chain.Fund(owner.Address(), smacs.Ether(100))
+	chain.Fund(client.Address(), smacs.Ether(100))
+
+	service, err := smacs.NewTokenService(smacs.TokenServiceConfig{
+		Key: smacs.KeyFromSeed("chain-ts-key"),
+	})
+	if err != nil {
+		return err
+	}
+
+	// Deploy SCA→SCB→SCC, each SMACS-enabled (Fig. 5's topology).
+	wrap := func(link *evm.Contract) *evm.Contract {
+		return smacs.EnableContract(link, smacs.NewVerifier(service.Address()))
+	}
+	deploy := func(c *evm.Contract) (smacs.Address, error) {
+		addr, _, err := chain.Deploy(owner.Address(), c)
+		return addr, err
+	}
+	addrs, err := contracts.BuildChain(deploy, 3, wrap)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chain: SCA=%s → SCB=%s → SCC=%s\n", addrs[0], addrs[1], addrs[2])
+
+	// One method token per contract: tkA, tkB, tkC.
+	entries := make([]smacs.TokenEntry, 0, 3)
+	for _, addr := range addrs {
+		tk, err := service.Issue(&smacs.TokenRequest{
+			Type:     smacs.MethodToken,
+			Contract: addr,
+			Sender:   client.Address(),
+			Method:   "relay(uint256,string)",
+		})
+		if err != nil {
+			return err
+		}
+		entries = append(entries, smacs.TokenEntry{Contract: addr, Token: tk})
+	}
+
+	r, err := client.Call(addrs[0], "relay", smacs.WithTokens(entries...), uint64(0), "hello")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relay(0) through the full chain: status=%v, hops=%v\n", r.Status, r.Return[0])
+	fmt.Printf("  gas: total=%d, verify=%d, parse=%d (each contract pays to scan the array)\n",
+		r.GasUsed, r.GasByCategory[gas.CatVerify], r.GasByCategory[gas.CatParse])
+
+	// Drop SCB's token: SCA verifies fine, the chain dies at SCB.
+	partial := smacs.WithTokens(entries[0], entries[2])
+	r, err = client.Call(addrs[0], "relay", partial, uint64(0), "hello")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relay(0) without SCB's token: status=%v (%v)\n", r.Status, r.Err)
+	return nil
+}

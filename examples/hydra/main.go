@@ -1,0 +1,70 @@
+// Enforcing Hydra uniformity (§ V-A).
+//
+// Three independent implementations ("heads") of the same calculator run on
+// the Token Service's private testnets. One head carries a seeded bug that
+// miscomputes sumTo(13). The TS issues argument tokens only when all heads
+// agree on the requested payload — so every payload except the
+// bug-triggering one is served, and the buggy input can never reach the
+// chain. Unlike on-chain Hydra, the extra heads cost no gas (§ V-A).
+//
+//	go run ./examples/hydra
+package main
+
+import (
+	"fmt"
+	"log"
+
+	smacs "repro"
+	"repro/internal/contracts"
+	"repro/internal/evm"
+	"repro/internal/rtverify/hydra"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tool, err := hydra.New(
+		hydra.Head{Name: "solidity", Build: contracts.NewCalculatorFormula},
+		hydra.Head{Name: "vyper", Build: contracts.NewCalculatorLoop},
+		hydra.Head{Name: "serpent", Build: func() *evm.Contract {
+			// The third head ships a bug triggered by sumTo(13).
+			return contracts.NewCalculatorBuggy(13)
+		}},
+	)
+	if err != nil {
+		return err
+	}
+
+	service, err := smacs.NewTokenService(smacs.TokenServiceConfig{
+		Key: smacs.KeyFromSeed("hydra-ts-key"),
+	})
+	if err != nil {
+		return err
+	}
+	service.AddValidator(tool)
+	fmt.Println("Token Service armed with 3 Hydra heads (one secretly buggy at n=13)")
+
+	client := smacs.Address{0xc1}
+	target := smacs.Address{0x01}
+	for _, n := range []uint64{7, 12, 13, 14, 100} {
+		_, err := service.Issue(&smacs.TokenRequest{
+			Type:     smacs.ArgumentToken,
+			Contract: target,
+			Sender:   client,
+			Method:   "sumTo",
+			Args:     []smacs.NamedArg{{Name: "n", Value: n}},
+		})
+		if err != nil {
+			fmt.Printf("sumTo(%3d): token DENIED — %v\n", n, err)
+			continue
+		}
+		fmt.Printf("sumTo(%3d): token issued (all heads agree)\n", n)
+	}
+	fmt.Println("→ the bug-triggering payload is filtered at issuance; every other")
+	fmt.Println("  request is served — no head consumes any on-chain gas")
+	return nil
+}

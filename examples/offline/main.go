@@ -1,0 +1,91 @@
+// Decentralized issuance via owner-published rule bundles — the § IX
+// future-work sketch ("a TS implemented within a TEE enclave could
+// decentralize the entire system").
+//
+// The owner seals its ACRs and a delegated issuing key into a signed
+// bundle and publishes it. Clients open the bundle locally (the enclave
+// attests the owner signature) and issue their own tokens without ever
+// contacting a central Token Service; the on-chain contract accepts them
+// because it trusts the delegate address.
+//
+//	go run ./examples/offline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	smacs "repro"
+	"repro/internal/contracts"
+	"repro/internal/ts/offline"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	chain := smacs.NewChain(smacs.DefaultChainConfig())
+	owner := smacs.NewWalletFromSeed("offline-owner", chain)
+	alice := smacs.NewWalletFromSeed("offline-alice", chain)
+	eve := smacs.NewWalletFromSeed("offline-eve", chain)
+	for _, w := range []*smacs.Wallet{owner, alice, eve} {
+		chain.Fund(w.Address(), smacs.Ether(10))
+	}
+
+	// The delegated issuing key plays the role of skTS; the contract
+	// trusts its address.
+	issuerKey := smacs.KeyFromSeed("offline-issuer-key")
+	verifier := smacs.NewVerifier(issuerKey.Address())
+	protected := smacs.EnableContract(contracts.NewSimpleStorage(), verifier)
+	addr, _, err := chain.Deploy(owner.Address(), protected)
+	if err != nil {
+		return err
+	}
+
+	// The owner seals ACRs (whitelist: alice) + the issuing key into a
+	// signed bundle, valid for 24 h, and publishes it.
+	ruleSet := smacs.NewRuleSet()
+	ruleSet.SetSenderList(smacs.NewWhitelist(smacs.ValueKey(alice.Address())))
+	bundle, err := offline.Seal(owner.Key(), issuerKey, ruleSet, addr, time.Now().Add(24*time.Hour))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("owner published a sealed ACR bundle for %s (valid 24h)\n", addr)
+
+	// Each client opens the bundle locally — no central service involved.
+	useBundle := func(who *smacs.Wallet, name string) {
+		issuer, err := offline.Open(bundle, owner.Address(), nil)
+		if err != nil {
+			fmt.Printf("%-6s cannot open bundle: %v\n", name, err)
+			return
+		}
+		tk, err := issuer.Issue(&smacs.TokenRequest{
+			Type: smacs.SuperToken, Contract: addr, Sender: who.Address(),
+		})
+		if err != nil {
+			fmt.Printf("%-6s locally DENIED by the bundled rules: %v\n", name, err)
+			return
+		}
+		opts := smacs.WithTokens(smacs.TokenEntry{Contract: addr, Token: tk})
+		r, err := who.Call(addr, "set", opts, uint64(7))
+		if err != nil {
+			fmt.Printf("%-6s tx error: %v\n", name, err)
+			return
+		}
+		fmt.Printf("%-6s issued a token locally and called set(7): status=%v\n", name, r.Status)
+	}
+	useBundle(alice, "alice")
+	useBundle(eve, "eve")
+
+	// Tampering with the published bundle is detected at open time.
+	forged := *bundle
+	forged.RulesJSON = []byte(`{"sender":{"whitelist":["` + smacs.ValueKey(eve.Address()) + `"]}}`)
+	if _, err := offline.Open(&forged, owner.Address(), nil); err != nil {
+		fmt.Printf("eve's forged bundle rejected: %v\n", err)
+	}
+	return nil
+}

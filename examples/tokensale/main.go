@@ -1,0 +1,88 @@
+// Token sale with an off-chain whitelist — the paper's motivating workload
+// (§ II-D): sales like Bluzelle's paid ~9.3 ETH just to whitelist 7473
+// participants on-chain. With SMACS the whitelist lives in the Token
+// Service: additions and removals are free, instant, and private, and the
+// contract only pays a constant token verification per call.
+//
+//	go run ./examples/tokensale
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	smacs "repro"
+	"repro/internal/contracts"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	chain := smacs.NewChain(smacs.DefaultChainConfig())
+	owner := smacs.NewWalletFromSeed("sale-owner", chain)
+	alice := smacs.NewWalletFromSeed("sale-alice", chain)
+	eve := smacs.NewWalletFromSeed("sale-eve", chain)
+	for _, w := range []*smacs.Wallet{owner, alice, eve} {
+		chain.Fund(w.Address(), smacs.Ether(100))
+	}
+
+	// ACRs: only whitelisted senders obtain tokens (Example 1). The list
+	// is dynamic — no contract changes, no gas.
+	ruleSet := smacs.NewRuleSet()
+	ruleSet.SetSenderList(smacs.NewWhitelist(smacs.ValueKey(alice.Address())))
+
+	service, err := smacs.NewTokenService(smacs.TokenServiceConfig{
+		Key:   smacs.KeyFromSeed("sale-ts-key"),
+		Rules: ruleSet,
+	})
+	if err != nil {
+		return err
+	}
+
+	verifier := smacs.NewVerifier(service.Address())
+	sale := smacs.EnableContract(contracts.NewTokenSale(100), verifier)
+	addr, _, err := chain.Deploy(owner.Address(), sale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("token sale at %s — whitelist lives off-chain in the TS\n", addr)
+
+	buy := func(who *smacs.Wallet, name string) {
+		tk, err := service.Issue(&smacs.TokenRequest{
+			Type: smacs.SuperToken, Contract: addr, Sender: who.Address(),
+		})
+		if err != nil {
+			fmt.Printf("%-6s denied at the Token Service: %v\n", name, err)
+			return
+		}
+		opts := smacs.WithTokens(smacs.TokenEntry{Contract: addr, Token: tk})
+		opts.Value = big.NewInt(5)
+		r, err := who.Call(addr, "buy", opts)
+		if err != nil {
+			fmt.Printf("%-6s tx error: %v\n", name, err)
+			return
+		}
+		fmt.Printf("%-6s bought %v sale-tokens (gas %d)\n", name, r.Return[0], r.GasUsed)
+	}
+
+	fmt.Println("\n-- initial whitelist: {alice} --")
+	buy(alice, "alice")
+	buy(eve, "eve")
+
+	fmt.Println("\n-- owner whitelists eve (free, instant, off-chain) --")
+	ruleSet.AddSender(smacs.ValueKey(eve.Address()))
+	buy(eve, "eve")
+
+	fmt.Println("\n-- owner revokes alice (Example 2: dynamic removal) --")
+	ruleSet.RemoveSender(smacs.ValueKey(alice.Address()))
+	buy(alice, "alice")
+
+	fmt.Println("\nCompare: an on-chain whitelist pays ~20k gas per address per update")
+	fmt.Println("(run `go run ./cmd/smacs-bench -baseline` for the full E7 comparison).")
+	return nil
+}

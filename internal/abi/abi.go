@@ -1,0 +1,301 @@
+// Package abi implements the subset of Ethereum's contract ABI that the
+// simulated chain uses: 4-byte method selectors derived from canonical
+// signatures, and head/tail encoding of arguments into 32-byte words.
+//
+// Supported Go ↔ Solidity type mappings:
+//
+//	types.Address → address
+//	*big.Int      → uint256
+//	uint64        → uint256
+//	bool          → bool
+//	[]byte        → bytes
+//	string        → string
+//	[][]byte      → bytes[]   (used for SMACS token arrays)
+package abi
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"repro/internal/keccak"
+	"repro/internal/types"
+)
+
+// SelectorLength is the byte length of a method selector.
+const SelectorLength = 4
+
+// Selector is the first four bytes of the Keccak-256 hash of a canonical
+// method signature; Ethereum's msg.sig.
+type Selector [SelectorLength]byte
+
+// Hex returns the 0x-prefixed hex form of the selector.
+func (s Selector) Hex() string { return fmt.Sprintf("0x%x", s[:]) }
+
+var (
+	// ErrUnsupportedType is returned when a Go value has no ABI mapping.
+	ErrUnsupportedType = errors.New("abi: unsupported type")
+	// ErrBadData is returned when decoding malformed ABI data.
+	ErrBadData = errors.New("abi: malformed data")
+)
+
+// SelectorFor computes the selector of a canonical signature such as
+// "transfer(address,uint256)".
+func SelectorFor(signature string) Selector {
+	h := keccak.Sum256([]byte(signature))
+	var s Selector
+	copy(s[:], h[:SelectorLength])
+	return s
+}
+
+// TypeName returns the canonical Solidity type name for a Go value.
+func TypeName(v any) (string, error) {
+	switch v.(type) {
+	case types.Address:
+		return "address", nil
+	case *big.Int, uint64:
+		return "uint256", nil
+	case bool:
+		return "bool", nil
+	case []byte:
+		return "bytes", nil
+	case string:
+		return "string", nil
+	case [][]byte:
+		return "bytes[]", nil
+	default:
+		return "", fmt.Errorf("%w: %T", ErrUnsupportedType, v)
+	}
+}
+
+// Signature builds the canonical signature string for a method name and a
+// set of argument values, e.g. Signature("transfer", addr, amount) =
+// "transfer(address,uint256)".
+func Signature(method string, args ...any) (string, error) {
+	names := make([]string, len(args))
+	for i, a := range args {
+		n, err := TypeName(a)
+		if err != nil {
+			return "", fmt.Errorf("argument %d: %w", i, err)
+		}
+		names[i] = n
+	}
+	return method + "(" + strings.Join(names, ",") + ")", nil
+}
+
+// Encode ABI-encodes the arguments using head/tail encoding.
+func Encode(args ...any) ([]byte, error) {
+	headSize := 0
+	for _, a := range args {
+		if _, err := TypeName(a); err != nil {
+			return nil, err
+		}
+		headSize += 32
+	}
+	head := make([]byte, 0, headSize)
+	var tail []byte
+	for i, a := range args {
+		switch v := a.(type) {
+		case types.Address:
+			head = append(head, leftPad(v.Bytes())...)
+		case *big.Int:
+			if v == nil {
+				v = new(big.Int)
+			}
+			if v.Sign() < 0 || v.BitLen() > 256 {
+				return nil, fmt.Errorf("abi: argument %d out of uint256 range", i)
+			}
+			var w [32]byte
+			v.FillBytes(w[:])
+			head = append(head, w[:]...)
+		case uint64:
+			var w [32]byte
+			new(big.Int).SetUint64(v).FillBytes(w[:])
+			head = append(head, w[:]...)
+		case bool:
+			var w [32]byte
+			if v {
+				w[31] = 1
+			}
+			head = append(head, w[:]...)
+		case []byte:
+			head = append(head, encodeUintWord(uint64(headSize+len(tail)))...)
+			tail = append(tail, encodeBytes(v)...)
+		case string:
+			head = append(head, encodeUintWord(uint64(headSize+len(tail)))...)
+			tail = append(tail, encodeBytes([]byte(v))...)
+		case [][]byte:
+			head = append(head, encodeUintWord(uint64(headSize+len(tail)))...)
+			tail = append(tail, encodeBytesArray(v)...)
+		}
+	}
+	return append(head, tail...), nil
+}
+
+// Pack builds calldata for a method: selector ‖ encoded arguments. The
+// signature is derived from the method name and the argument types.
+func Pack(method string, args ...any) ([]byte, error) {
+	sig, err := Signature(method, args...)
+	if err != nil {
+		return nil, err
+	}
+	sel := SelectorFor(sig)
+	body, err := Encode(args...)
+	if err != nil {
+		return nil, err
+	}
+	return append(sel[:], body...), nil
+}
+
+// Decode decodes ABI data into values shaped like protos; each proto gives
+// the expected type of the corresponding argument (its value is ignored).
+func Decode(data []byte, protos ...any) ([]any, error) {
+	out := make([]any, len(protos))
+	for i, p := range protos {
+		headOff := 32 * i
+		word, err := wordAt(data, headOff)
+		if err != nil {
+			return nil, err
+		}
+		switch p.(type) {
+		case types.Address:
+			out[i] = types.BytesToAddress(word)
+		case *big.Int:
+			out[i] = new(big.Int).SetBytes(word)
+		case uint64:
+			v := new(big.Int).SetBytes(word)
+			if !v.IsUint64() {
+				return nil, fmt.Errorf("%w: value overflows uint64", ErrBadData)
+			}
+			out[i] = v.Uint64()
+		case bool:
+			out[i] = word[31] != 0
+		case []byte:
+			b, err := decodeBytesAt(data, word)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = b
+		case string:
+			b, err := decodeBytesAt(data, word)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = string(b)
+		case [][]byte:
+			arr, err := decodeBytesArrayAt(data, word)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = arr
+		default:
+			return nil, fmt.Errorf("%w: %T", ErrUnsupportedType, p)
+		}
+	}
+	return out, nil
+}
+
+func encodeUintWord(v uint64) []byte {
+	var w [32]byte
+	new(big.Int).SetUint64(v).FillBytes(w[:])
+	return w[:]
+}
+
+func leftPad(b []byte) []byte {
+	w := make([]byte, 32)
+	copy(w[32-len(b):], b)
+	return w
+}
+
+func encodeBytes(b []byte) []byte {
+	out := encodeUintWord(uint64(len(b)))
+	out = append(out, b...)
+	if pad := len(b) % 32; pad != 0 {
+		out = append(out, make([]byte, 32-pad)...)
+	}
+	return out
+}
+
+func encodeBytesArray(arr [][]byte) []byte {
+	out := encodeUintWord(uint64(len(arr)))
+	headSize := 32 * len(arr)
+	var tail []byte
+	for _, el := range arr {
+		out = append(out, encodeUintWord(uint64(headSize+len(tail)))...)
+		tail = append(tail, encodeBytes(el)...)
+	}
+	return append(out, tail...)
+}
+
+func wordAt(data []byte, off int) ([]byte, error) {
+	if off < 0 || off+32 > len(data) {
+		return nil, fmt.Errorf("%w: word at offset %d out of bounds (%d bytes)", ErrBadData, off, len(data))
+	}
+	return data[off : off+32], nil
+}
+
+func offsetFromWord(word []byte) (int, error) {
+	v := new(big.Int).SetBytes(word)
+	if !v.IsInt64() || v.Int64() < 0 {
+		return 0, fmt.Errorf("%w: invalid offset", ErrBadData)
+	}
+	return int(v.Int64()), nil
+}
+
+func decodeBytesAt(data, offsetWord []byte) ([]byte, error) {
+	off, err := offsetFromWord(offsetWord)
+	if err != nil {
+		return nil, err
+	}
+	lenWord, err := wordAt(data, off)
+	if err != nil {
+		return nil, err
+	}
+	n, err := offsetFromWord(lenWord)
+	if err != nil {
+		return nil, err
+	}
+	if off+32+n > len(data) {
+		return nil, fmt.Errorf("%w: bytes payload out of bounds", ErrBadData)
+	}
+	out := make([]byte, n)
+	copy(out, data[off+32:off+32+n])
+	return out, nil
+}
+
+func decodeBytesArrayAt(data, offsetWord []byte) ([][]byte, error) {
+	off, err := offsetFromWord(offsetWord)
+	if err != nil {
+		return nil, err
+	}
+	lenWord, err := wordAt(data, off)
+	if err != nil {
+		return nil, err
+	}
+	n, err := offsetFromWord(lenWord)
+	if err != nil {
+		return nil, err
+	}
+	if n > (len(data)-off)/32 {
+		return nil, fmt.Errorf("%w: array length %d out of bounds", ErrBadData, n)
+	}
+	base := off + 32
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		elOffWord, err := wordAt(data, base+32*i)
+		if err != nil {
+			return nil, err
+		}
+		elOff, err := offsetFromWord(elOffWord)
+		if err != nil {
+			return nil, err
+		}
+		el, err := decodeBytesAt(data[base:], encodeUintWord(uint64(elOff)))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = el
+	}
+	return out, nil
+}

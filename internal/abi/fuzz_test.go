@@ -1,0 +1,66 @@
+package abi
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+// TestDecodeNeverPanics feeds random bytes to the decoder for every
+// supported prototype shape: malformed input must produce errors, never
+// panics or hangs — decoders sit on the untrusted transaction path.
+func TestDecodeNeverPanics(t *testing.T) {
+	protos := [][]any{
+		{types.Address{}},
+		{(*big.Int)(nil)},
+		{uint64(0)},
+		{false},
+		{[]byte(nil)},
+		{""},
+		{[][]byte(nil)},
+		{types.Address{}, (*big.Int)(nil), "", [][]byte(nil)},
+	}
+	f := func(data []byte) bool {
+		for _, p := range protos {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("Decode panicked on %x with protos %T: %v", data, p, r)
+					}
+				}()
+				_, _ = Decode(data, p...)
+			}()
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeNeverPanicsOnMutatedValid mutates valid encodings byte by byte;
+// the decoder must survive every single-byte corruption.
+func TestDecodeNeverPanicsOnMutatedValid(t *testing.T) {
+	enc, err := Encode(types.Address{0xaa}, big.NewInt(7), "hello", [][]byte{{1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := []any{types.Address{}, (*big.Int)(nil), "", [][]byte(nil)}
+	for i := range enc {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mutated := append([]byte(nil), enc...)
+			mutated[i] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic at byte %d flip %#x: %v", i, flip, r)
+					}
+				}()
+				_, _ = Decode(mutated, protos...)
+			}()
+		}
+	}
+}

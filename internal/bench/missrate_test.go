@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+func TestMissRateShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miss-rate replay is slow; skipped with -short")
+	}
+	res, err := MissRate(600, 35, 30, []float64{0.1, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's sizing rule (factor 1.0) must not miss a single fresh
+	// token.
+	for _, r := range res.Rows[2:] {
+		if r.Missed != 0 {
+			t.Errorf("factor %.2f missed %d tokens; sizing rule violated", r.SizeFactor, r.Missed)
+		}
+	}
+	// Under-provisioned bitmaps lose tokens, monotonically more as they
+	// shrink.
+	if res.Rows[0].MissRate <= res.Rows[1].MissRate {
+		t.Errorf("miss rate not decreasing with size: %.3f (0.1x) vs %.3f (0.5x)",
+			res.Rows[0].MissRate, res.Rows[1].MissRate)
+	}
+	if res.Rows[1].Missed == 0 {
+		t.Error("half-size bitmap missed nothing; workload too tame")
+	}
+}

@@ -1,0 +1,190 @@
+// Package contracts provides the sample and baseline contracts of the
+// reproduction: the vulnerable Bank and its Attacker (Fig. 7), a hardened
+// SafeBank, the token-sale contract motivating off-chain whitelists
+// (§ II-D), the on-chain whitelist baseline, a simple storage contract for
+// the quickstart, and the generic call-chain link of Fig. 5.
+package contracts
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/evm"
+	"repro/internal/gas"
+	"repro/internal/types"
+)
+
+// Storage slot bases used by the contracts in this package.
+const (
+	slotBalances uint64 = 0
+	slotValue    uint64 = 0
+)
+
+var errTransferFailed = errors.New("contracts: transfer failed")
+
+func loadBig(c *evm.Call, slot types.Hash) (*big.Int, error) {
+	w, err := c.Load(slot)
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).SetBytes(w[:]), nil
+}
+
+func storeBig(c *evm.Call, slot types.Hash, v *big.Int) error {
+	var w [32]byte
+	v.FillBytes(w[:])
+	return c.Store(slot, types.Hash(w))
+}
+
+// NewBank builds the vulnerable Bank of Fig. 7: addBalance deposits ether
+// and withdraw sends the caller's balance *before* zeroing it, with the
+// outbound transfer running the recipient's fallback — the re-entrancy
+// vulnerability behind TheDAO.
+func NewBank() *evm.Contract {
+	c := evm.NewContract("Bank")
+	c.MustAddMethod(evm.Method{
+		Name:       "addBalance",
+		Visibility: evm.Public,
+		Payable:    true,
+		Handler: func(call *evm.Call) ([]any, error) {
+			slot := evm.Slot(slotBalances, call.Caller().Bytes())
+			bal, err := loadBig(call, slot)
+			if err != nil {
+				return nil, err
+			}
+			return nil, storeBig(call, slot, bal.Add(bal, call.Value()))
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "withdraw",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			slot := evm.Slot(slotBalances, call.Caller().Bytes())
+			amount, err := loadBig(call, slot)
+			if err != nil {
+				return nil, err
+			}
+			// VULNERABLE: external call before the balance is zeroed
+			// (Fig. 7 line 8 before line 9).
+			if err := call.Transfer(call.Caller(), amount); err != nil {
+				return nil, errTransferFailed
+			}
+			return nil, storeBig(call, slot, new(big.Int))
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "balanceOf",
+		Params:     []any{types.Address{}},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			who, _ := call.Arg(0).(types.Address)
+			bal, err := loadBig(call, evm.Slot(slotBalances, who.Bytes()))
+			if err != nil {
+				return nil, err
+			}
+			return []any{bal}, nil
+		},
+	})
+	return c
+}
+
+// NewSafeBank builds the checks-effects-interactions variant: the balance
+// is zeroed before the outbound transfer, so re-entering withdraw finds
+// nothing to steal.
+func NewSafeBank() *evm.Contract {
+	c := evm.NewContract("SafeBank")
+	c.MustAddMethod(evm.Method{
+		Name:       "addBalance",
+		Visibility: evm.Public,
+		Payable:    true,
+		Handler: func(call *evm.Call) ([]any, error) {
+			slot := evm.Slot(slotBalances, call.Caller().Bytes())
+			bal, err := loadBig(call, slot)
+			if err != nil {
+				return nil, err
+			}
+			return nil, storeBig(call, slot, bal.Add(bal, call.Value()))
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "withdraw",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			slot := evm.Slot(slotBalances, call.Caller().Bytes())
+			amount, err := loadBig(call, slot)
+			if err != nil {
+				return nil, err
+			}
+			if err := storeBig(call, slot, new(big.Int)); err != nil {
+				return nil, err
+			}
+			if err := call.Transfer(call.Caller(), amount); err != nil {
+				return nil, errTransferFailed
+			}
+			return nil, nil
+		},
+	})
+	return c
+}
+
+// NewAttacker builds the Attacker of Fig. 7 targeting the bank at the given
+// address: deposit() forwards ether to the bank; withdraw() starts the
+// attack; the fallback re-enters the bank's withdraw exactly once (guarded
+// by the isAttack flag).
+func NewAttacker(bank types.Address, isAttack bool) *evm.Contract {
+	const (
+		slotIsAttack uint64 = 0
+	)
+	c := evm.NewContract("Attacker")
+	armed := isAttack // mirrors the constructor argument of Fig. 7
+
+	c.SetFallback(func(call *evm.Call) ([]any, error) {
+		flag, err := call.LoadUint(gas.CatApp, evm.SlotN(slotIsAttack))
+		if err != nil {
+			return nil, err
+		}
+		if armed && flag == 0 {
+			if err := call.StoreUint(gas.CatApp, evm.SlotN(slotIsAttack), 1); err != nil {
+				return nil, err
+			}
+			// Re-enter the bank while its withdraw frame is still open.
+			if _, err := call.CallContract(bank, "withdraw", nil, nil, call.Tokens()); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "deposit",
+		Visibility: evm.Public,
+		Payable:    true,
+		Handler: func(call *evm.Call) ([]any, error) {
+			_, err := call.CallContract(bank, "addBalance", call.Value(), nil, call.Tokens())
+			return nil, err
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "withdraw",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			// Re-arm for a fresh attack run, then trigger.
+			if err := call.StoreUint(gas.CatApp, evm.SlotN(slotIsAttack), 0); err != nil {
+				return nil, err
+			}
+			_, err := call.CallContract(bank, "withdraw", nil, nil, call.Tokens())
+			return nil, err
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "loot",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			bal, err := call.BalanceOf(call.Self())
+			if err != nil {
+				return nil, err
+			}
+			return []any{bal}, nil
+		},
+	})
+	return c
+}

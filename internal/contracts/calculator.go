@@ -1,0 +1,107 @@
+package contracts
+
+import (
+	"errors"
+
+	"repro/internal/evm"
+)
+
+// The calculator contracts below are three independent implementations of
+// the same specification — the "heads" of the Hydra case study (§ V-A),
+// standing in for the same program written in Solidity, Vyper, and Serpent.
+// All implement:
+//
+//	sumTo(n)  = 0 + 1 + ... + n
+//	double(n) = 2n
+//
+// NewCalculatorBuggy seeds a divergence at one specific input so tests and
+// examples can demonstrate the uniformity rule catching a head bug.
+
+// ErrCalcOverflow is returned when a calculator input would overflow.
+var ErrCalcOverflow = errors.New("contracts: calculator input too large")
+
+const maxCalcInput = 1 << 31
+
+func calculator(name string, sumTo, double func(uint64) uint64) *evm.Contract {
+	c := evm.NewContract(name)
+	c.MustAddMethod(evm.Method{
+		Name:       "sumTo",
+		Params:     []any{uint64(0)},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			n, _ := call.Arg(0).(uint64)
+			if n > maxCalcInput {
+				return nil, ErrCalcOverflow
+			}
+			return []any{sumTo(n)}, nil
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "double",
+		Params:     []any{uint64(0)},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			n, _ := call.Arg(0).(uint64)
+			if n > maxCalcInput {
+				return nil, ErrCalcOverflow
+			}
+			return []any{double(n)}, nil
+		},
+	})
+	return c
+}
+
+// NewCalculatorFormula computes closed-form (the "Solidity head").
+func NewCalculatorFormula() *evm.Contract {
+	return calculator("CalculatorFormula",
+		func(n uint64) uint64 { return n * (n + 1) / 2 },
+		func(n uint64) uint64 { return n << 1 },
+	)
+}
+
+// NewCalculatorLoop computes iteratively (the "Vyper head").
+func NewCalculatorLoop() *evm.Contract {
+	return calculator("CalculatorLoop",
+		func(n uint64) uint64 {
+			var s uint64
+			for i := uint64(1); i <= n; i++ {
+				s += i
+			}
+			return s
+		},
+		func(n uint64) uint64 { return n + n },
+	)
+}
+
+// NewCalculatorPairwise computes by pairing ends (the "Serpent head").
+func NewCalculatorPairwise() *evm.Contract {
+	return calculator("CalculatorPairwise",
+		func(n uint64) uint64 {
+			if n == 0 {
+				return 0
+			}
+			pairs := n / 2
+			s := pairs * (n + 1)
+			if n%2 == 1 {
+				s += (n + 1) / 2
+			}
+			return s
+		},
+		func(n uint64) uint64 { return 2 * n },
+	)
+}
+
+// NewCalculatorBuggy is a head with a seeded bug: sumTo(triggerN) is off by
+// one. Every other input matches the specification.
+func NewCalculatorBuggy(triggerN uint64) *evm.Contract {
+	return calculator("CalculatorBuggy",
+		func(n uint64) uint64 {
+			s := n * (n + 1) / 2
+			if n == triggerN {
+				s++ // the bug
+			}
+			return s
+		},
+		func(n uint64) uint64 { return 2 * n },
+	)
+}

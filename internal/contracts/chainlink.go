@@ -1,0 +1,58 @@
+package contracts
+
+import (
+	"repro/internal/evm"
+	"repro/internal/types"
+)
+
+// NewChainLink builds one link of the call chain of Fig. 5: relay(v, note)
+// forwards to the next link's relay(v+1, note), passing the transaction's
+// token array through, and returns the final hop count. A link with a zero
+// next address is the chain's terminal (SCC in the figure). The note
+// payload gives argument tokens a realistic msg.data size to bind.
+func NewChainLink(name string, next types.Address) *evm.Contract {
+	c := evm.NewContract(name)
+	c.MustAddMethod(evm.Method{
+		Name:       "relay",
+		Params:     []any{uint64(0), ""},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			v, _ := call.Arg(0).(uint64)
+			note, _ := call.Arg(1).(string)
+			if next.IsZero() {
+				return []any{v}, nil
+			}
+			return call.CallContract(next, "relay", nil, []any{v + 1, note}, call.Tokens())
+		},
+	})
+	return c
+}
+
+// BuildChain deploys a chain of depth SMACS-enabled links (via the supplied
+// wrap function, typically transform.Enable) and returns their addresses in
+// call order: addrs[0] is the entry contract (SCA), addrs[depth-1] the
+// terminal. wrap may be nil for a legacy (unprotected) chain.
+func BuildChain(deploy func(*evm.Contract) (types.Address, error), depth int,
+	wrap func(*evm.Contract) *evm.Contract) ([]types.Address, error) {
+
+	addrs := make([]types.Address, depth)
+	next := types.ZeroAddress
+	// Deploy back to front so each link knows its successor.
+	for i := depth - 1; i >= 0; i-- {
+		link := NewChainLink(linkName(i), next)
+		if wrap != nil {
+			link = wrap(link)
+		}
+		addr, err := deploy(link)
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = addr
+		next = addr
+	}
+	return addrs, nil
+}
+
+func linkName(i int) string {
+	return "SC" + string(rune('A'+i))
+}

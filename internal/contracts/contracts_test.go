@@ -1,0 +1,192 @@
+package contracts_test
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"repro/internal/contracts"
+	"repro/internal/evm"
+	"repro/internal/evmtest"
+	"repro/internal/types"
+	"repro/internal/wallet"
+)
+
+func TestReentrancyExploitDrainsBank(t *testing.T) {
+	// Reproduces the Fig. 7 attack end to end on the *legacy* Bank: the
+	// attacker deposits 2 ether and withdraws 4, leaving the bank unable
+	// to pay the victim back.
+	env := evmtest.NewEnv(t, 3)
+	victim, attacker := 1, 2
+
+	bankAddr := env.Deploy(t, contracts.NewBank())
+	attackerContract := contracts.NewAttacker(bankAddr, true)
+	attackerAddr, _, err := env.Chain.Deploy(env.Wallets[attacker].Address(), attackerContract)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env.MustCall(t, victim, bankAddr, "addBalance", wallet.CallOpts{Value: evmtest.Ether(10)})
+	env.MustCall(t, attacker, attackerAddr, "deposit", wallet.CallOpts{Value: evmtest.Ether(2)})
+	if got := env.Chain.Balance(bankAddr); got.Cmp(evmtest.Ether(12)) != 0 {
+		t.Fatalf("bank holds %s, want 12 ether", got)
+	}
+
+	env.MustCall(t, attacker, attackerAddr, "withdraw", wallet.CallOpts{})
+
+	loot := env.Chain.Balance(attackerAddr)
+	if loot.Cmp(evmtest.Ether(4)) != 0 {
+		t.Errorf("attacker contract holds %s, want 4 ether (2 deposited + 2 stolen)", loot)
+	}
+	bank := env.Chain.Balance(bankAddr)
+	if bank.Cmp(evmtest.Ether(8)) != 0 {
+		t.Errorf("bank holds %s, want 8 ether (insolvent for the victim's 10)", bank)
+	}
+}
+
+func TestSafeBankResistsReentrancy(t *testing.T) {
+	env := evmtest.NewEnv(t, 3)
+	victim, attacker := 1, 2
+
+	bankAddr := env.Deploy(t, contracts.NewSafeBank())
+	attackerAddr, _, err := env.Chain.Deploy(env.Wallets[attacker].Address(),
+		contracts.NewAttacker(bankAddr, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env.MustCall(t, victim, bankAddr, "addBalance", wallet.CallOpts{Value: evmtest.Ether(10)})
+	env.MustCall(t, attacker, attackerAddr, "deposit", wallet.CallOpts{Value: evmtest.Ether(2)})
+	env.MustCall(t, attacker, attackerAddr, "withdraw", wallet.CallOpts{})
+
+	if loot := env.Chain.Balance(attackerAddr); loot.Cmp(evmtest.Ether(2)) != 0 {
+		t.Errorf("attacker got %s from SafeBank, want exactly its 2 ether back", loot)
+	}
+	if bank := env.Chain.Balance(bankAddr); bank.Cmp(evmtest.Ether(10)) != 0 {
+		t.Errorf("SafeBank holds %s, want the victim's 10 ether", bank)
+	}
+}
+
+func TestBankBalanceAccounting(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	bankAddr := env.Deploy(t, contracts.NewBank())
+	env.MustCall(t, 1, bankAddr, "addBalance", wallet.CallOpts{Value: big.NewInt(500)})
+	env.MustCall(t, 1, bankAddr, "addBalance", wallet.CallOpts{Value: big.NewInt(300)})
+	r := env.MustCall(t, 1, bankAddr, "balanceOf", wallet.CallOpts{}, env.Wallets[1].Address())
+	if got := r.Return[0].(*big.Int); got.Int64() != 800 {
+		t.Errorf("balanceOf = %s, want 800", got)
+	}
+	// Honest withdraw pays out and zeroes the balance.
+	env.MustCall(t, 1, bankAddr, "withdraw", wallet.CallOpts{})
+	r = env.MustCall(t, 1, bankAddr, "balanceOf", wallet.CallOpts{}, env.Wallets[1].Address())
+	if got := r.Return[0].(*big.Int); got.Sign() != 0 {
+		t.Errorf("balance after withdraw = %s, want 0", got)
+	}
+}
+
+func TestTokenSale(t *testing.T) {
+	env := evmtest.NewEnv(t, 3)
+	saleAddr := env.Deploy(t, contracts.NewTokenSale(100))
+
+	r := env.MustCall(t, 1, saleAddr, "buy", wallet.CallOpts{Value: big.NewInt(5)})
+	if minted := r.Return[0].(*big.Int); minted.Int64() != 500 {
+		t.Errorf("minted %s, want 500", minted)
+	}
+	env.MustCall(t, 1, saleAddr, "transfer", wallet.CallOpts{},
+		env.Wallets[2].Address(), big.NewInt(123))
+	r = env.MustCall(t, 2, saleAddr, "balanceOf", wallet.CallOpts{}, env.Wallets[2].Address())
+	if got := r.Return[0].(*big.Int); got.Int64() != 123 {
+		t.Errorf("recipient balance = %s, want 123", got)
+	}
+	// Over-transfer reverts.
+	rr := env.CallExpectRevert(t, 2, saleAddr, "transfer", wallet.CallOpts{},
+		env.Wallets[1].Address(), big.NewInt(1000))
+	if rr.Err == nil {
+		t.Error("over-transfer succeeded")
+	}
+}
+
+func TestWhitelistGate(t *testing.T) {
+	env := evmtest.NewEnv(t, 3)
+	owner := env.Wallets[0].Address()
+	gateAddr := env.Deploy(t, contracts.NewWhitelistGate(owner))
+
+	// Non-owner cannot manage the list.
+	rr := env.CallExpectRevert(t, 1, gateAddr, "add", wallet.CallOpts{}, env.Wallets[1].Address())
+	if !errors.Is(rr.Err, contracts.ErrNotOwner) {
+		t.Errorf("err = %v, want ErrNotOwner", rr.Err)
+	}
+
+	// Unlisted caller is rejected.
+	rr = env.CallExpectRevert(t, 1, gateAddr, "enter", wallet.CallOpts{})
+	if !errors.Is(rr.Err, contracts.ErrNotWhitelisted) {
+		t.Errorf("err = %v, want ErrNotWhitelisted", rr.Err)
+	}
+
+	env.MustCall(t, 0, gateAddr, "add", wallet.CallOpts{}, env.Wallets[1].Address())
+	env.MustCall(t, 1, gateAddr, "enter", wallet.CallOpts{})
+
+	// Removal takes effect.
+	env.MustCall(t, 0, gateAddr, "remove", wallet.CallOpts{}, env.Wallets[1].Address())
+	env.CallExpectRevert(t, 1, gateAddr, "enter", wallet.CallOpts{})
+}
+
+func TestWhitelistGateBatch(t *testing.T) {
+	env := evmtest.NewEnv(t, 3)
+	owner := env.Wallets[0].Address()
+	gateAddr := env.Deploy(t, contracts.NewWhitelistGate(owner))
+
+	packed := append(env.Wallets[1].Address().Bytes(), env.Wallets[2].Address().Bytes()...)
+	r := env.MustCall(t, 0, gateAddr, "addBatch", wallet.CallOpts{}, packed)
+	if n := r.Return[0].(uint64); n != 2 {
+		t.Errorf("addBatch added %d, want 2", n)
+	}
+	for _, i := range []int{1, 2} {
+		got := env.MustCall(t, 0, gateAddr, "isListed", wallet.CallOpts{}, env.Wallets[i].Address())
+		if !got.Return[0].(bool) {
+			t.Errorf("wallet %d not listed after batch", i)
+		}
+	}
+	// Ragged payload rejected.
+	rr := env.CallExpectRevert(t, 0, gateAddr, "addBatch", wallet.CallOpts{}, []byte{1, 2, 3})
+	if rr.Err == nil {
+		t.Error("ragged batch accepted")
+	}
+}
+
+func TestSimpleStorage(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	addr := env.Deploy(t, contracts.NewSimpleStorage())
+	env.MustCall(t, 1, addr, "set", wallet.CallOpts{}, uint64(1234))
+	r := env.MustCall(t, 1, addr, "get", wallet.CallOpts{})
+	if v := r.Return[0].(uint64); v != 1234 {
+		t.Errorf("get = %d, want 1234", v)
+	}
+}
+
+func TestCallChain(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	deploy := func(c *evm.Contract) (types.Address, error) {
+		addr, _, err := env.Chain.Deploy(env.Wallets[0].Address(), c)
+		return addr, err
+	}
+	addrs, err := contracts.BuildChain(deploy, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("chain length %d", len(addrs))
+	}
+	// relay(0) through SCA→SCB→SCC counts two hops.
+	r := env.MustCall(t, 1, addrs[0], "relay", wallet.CallOpts{}, uint64(0), "note")
+	if v := r.Return[0].(uint64); v != 2 {
+		t.Errorf("relay returned %d, want 2", v)
+	}
+	// The trace shows a depth-3 call chain (Fig. 5).
+	if got := r.Trace.MaxDepth(); got != 2 {
+		t.Errorf("max depth = %d, want 2 (three frames)", got)
+	}
+	if name, _ := env.Chain.ContractAt(addrs[0]); name.Name() != "SCA" {
+		t.Errorf("entry contract named %q, want SCA", name.Name())
+	}
+}

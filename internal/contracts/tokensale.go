@@ -1,0 +1,74 @@
+package contracts
+
+import (
+	"errors"
+	"math/big"
+
+	"repro/internal/evm"
+	"repro/internal/types"
+)
+
+// NewTokenSale builds a minimal token-sale contract: buyers send ether to
+// buy() and receive rate tokens per wei; balances are transferable. This is
+// the workload of the paper's motivating example (§ II-D): sales that must
+// restrict participation to approved users — with SMACS, the approval list
+// lives off-chain in the Token Service instead of an on-chain whitelist.
+func NewTokenSale(rate uint64) *evm.Contract {
+	c := evm.NewContract("TokenSale")
+	bal := func(a types.Address) types.Hash { return evm.Slot(slotBalances, a.Bytes()) }
+
+	c.MustAddMethod(evm.Method{
+		Name:       "buy",
+		Visibility: evm.Public,
+		Payable:    true,
+		Handler: func(call *evm.Call) ([]any, error) {
+			minted := new(big.Int).Mul(call.Value(), new(big.Int).SetUint64(rate))
+			cur, err := loadBig(call, bal(call.Caller()))
+			if err != nil {
+				return nil, err
+			}
+			if err := storeBig(call, bal(call.Caller()), cur.Add(cur, minted)); err != nil {
+				return nil, err
+			}
+			return []any{minted}, nil
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "transfer",
+		Params:     []any{types.Address{}, (*big.Int)(nil)},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			to, _ := call.Arg(0).(types.Address)
+			amount, _ := call.Arg(1).(*big.Int)
+			from, err := loadBig(call, bal(call.Caller()))
+			if err != nil {
+				return nil, err
+			}
+			if from.Cmp(amount) < 0 {
+				return nil, errors.New("token sale: insufficient token balance")
+			}
+			if err := storeBig(call, bal(call.Caller()), from.Sub(from, amount)); err != nil {
+				return nil, err
+			}
+			dst, err := loadBig(call, bal(to))
+			if err != nil {
+				return nil, err
+			}
+			return nil, storeBig(call, bal(to), dst.Add(dst, amount))
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "balanceOf",
+		Params:     []any{types.Address{}},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			who, _ := call.Arg(0).(types.Address)
+			v, err := loadBig(call, bal(who))
+			if err != nil {
+				return nil, err
+			}
+			return []any{v}, nil
+		},
+	})
+	return c
+}

@@ -1,0 +1,137 @@
+package contracts
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/evm"
+	"repro/internal/gas"
+	"repro/internal/types"
+)
+
+// ErrNotOwner is returned when a restricted method is called by a
+// non-owner.
+var ErrNotOwner = errors.New("contracts: caller is not the owner")
+
+// ErrNotWhitelisted is returned by the baseline gate for unlisted callers.
+var ErrNotWhitelisted = errors.New("contracts: caller not whitelisted")
+
+// NewWhitelistGate builds the on-chain access-control baseline the paper
+// motivates against (§ II-B/§ II-D): the owner maintains an address
+// whitelist in contract storage (one SSTORE per address — the cost the
+// Bluzelle sale paid for 7473 users), and enter() is only executable by
+// whitelisted callers. The baseline benchmark (E7) measures it against
+// SMACS token verification.
+func NewWhitelistGate(owner types.Address) *evm.Contract {
+	const slotList uint64 = 1
+	entry := func(a types.Address) types.Hash { return evm.Slot(slotList, a.Bytes()) }
+	requireOwner := func(call *evm.Call) error {
+		if call.Caller() != owner {
+			return ErrNotOwner
+		}
+		return nil
+	}
+
+	c := evm.NewContract("WhitelistGate")
+	c.MustAddMethod(evm.Method{
+		Name:       "add",
+		Params:     []any{types.Address{}},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			if err := requireOwner(call); err != nil {
+				return nil, err
+			}
+			who, _ := call.Arg(0).(types.Address)
+			return nil, call.Store(entry(who), types.Hash{31: 1})
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "addBatch",
+		Params:     []any{[]byte(nil)},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			if err := requireOwner(call); err != nil {
+				return nil, err
+			}
+			packed, _ := call.Arg(0).([]byte)
+			if len(packed)%types.AddressLength != 0 {
+				return nil, fmt.Errorf("addBatch: payload not a multiple of %d bytes", types.AddressLength)
+			}
+			for off := 0; off < len(packed); off += types.AddressLength {
+				who := types.BytesToAddress(packed[off : off+types.AddressLength])
+				if err := call.Store(entry(who), types.Hash{31: 1}); err != nil {
+					return nil, err
+				}
+			}
+			return []any{uint64(len(packed) / types.AddressLength)}, nil
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "remove",
+		Params:     []any{types.Address{}},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			if err := requireOwner(call); err != nil {
+				return nil, err
+			}
+			who, _ := call.Arg(0).(types.Address)
+			return nil, call.Store(entry(who), types.Hash{})
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "isListed",
+		Params:     []any{types.Address{}},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			who, _ := call.Arg(0).(types.Address)
+			w, err := call.Load(entry(who))
+			if err != nil {
+				return nil, err
+			}
+			return []any{!w.IsZero()}, nil
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "enter",
+		Visibility: evm.Public,
+		Payable:    true,
+		Handler: func(call *evm.Call) ([]any, error) {
+			w, err := call.Load(entry(call.Caller()))
+			if err != nil {
+				return nil, err
+			}
+			if w.IsZero() {
+				return nil, ErrNotWhitelisted
+			}
+			return []any{true}, nil
+		},
+	})
+	return c
+}
+
+// NewSimpleStorage builds the canonical set/get contract used by the
+// quickstart example.
+func NewSimpleStorage() *evm.Contract {
+	c := evm.NewContract("SimpleStorage")
+	c.MustAddMethod(evm.Method{
+		Name:       "set",
+		Params:     []any{uint64(0)},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			v, _ := call.Arg(0).(uint64)
+			return nil, call.StoreUint(gas.CatApp, evm.SlotN(slotValue), v)
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "get",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			v, err := call.LoadUint(gas.CatApp, evm.SlotN(slotValue))
+			if err != nil {
+				return nil, err
+			}
+			return []any{v}, nil
+		},
+	})
+	return c
+}

@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evmtest"
+	"repro/internal/wallet"
+)
+
+func TestExpiryBoundaryExactSecond(t *testing.T) {
+	// Alg. 1 rejects iff now() > tk.expire: a call in the very second the
+	// token expires is still valid; one second later it is not.
+	f := newFixture(t, 0)
+	expire := f.env.Clock.Now().Add(time.Hour)
+
+	tk, err := core.SignToken(tsKey, core.SuperType, expire, core.NotOneTime, core.Binding{
+		Origin:   f.env.Wallets[1].Address(),
+		Contract: f.addr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wallet.WithTokens(wallet.TokenEntry{Contract: f.addr, Token: tk})
+
+	f.env.Clock.Advance(time.Hour) // now == expire exactly
+	f.env.MustCall(t, 1, f.addr, "ping", opts)
+
+	f.env.Clock.Advance(time.Second) // now > expire
+	r := f.env.CallExpectRevert(t, 1, f.addr, "ping", opts)
+	if !errors.Is(r.Err, core.ErrTokenExpired) {
+		t.Errorf("err = %v, want ErrTokenExpired", r.Err)
+	}
+}
+
+func TestBitmapAdvanceBoundary(t *testing.T) {
+	// Index exactly end+n takes the advance branch (shift = n: the whole
+	// window recycles); end+n+1 takes the reset branch. Both must keep the
+	// at-most-once property for the boundary index itself.
+	env := evmtestEnvForBitmap(t, 8)
+
+	use := env.use
+	if err := use(0); err != nil {
+		t.Fatal(err)
+	}
+	// end = 7, n = 8 → boundary index 15 advances; 15 must then be
+	// unusable a second time.
+	if err := use(15); err != nil {
+		t.Fatalf("boundary advance rejected: %v", err)
+	}
+	if err := use(15); !errors.Is(err, core.ErrTokenUsed) {
+		t.Errorf("boundary index reused: %v", err)
+	}
+	// Window is now [8,15]; index 8 is fresh and must be accepted.
+	if err := use(8); err != nil {
+		t.Errorf("fresh index 8 rejected after boundary advance: %v", err)
+	}
+}
+
+// bitmapEnv wraps the bitmap harness with an ergonomic use() helper.
+type bitmapEnv struct {
+	use func(idx uint64) error
+}
+
+func evmtestEnvForBitmap(t *testing.T, bits int) *bitmapEnv {
+	t.Helper()
+	env := evmtest.NewEnv(t, 2)
+	addr := env.Deploy(t, newBitmapHarness(t, bits))
+	return &bitmapEnv{
+		use: func(idx uint64) error {
+			r, err := env.Wallets[1].Call(addr, "use", wallet.CallOpts{}, idx)
+			if err != nil {
+				t.Fatalf("use(%d): %v", idx, err)
+			}
+			if !r.Status {
+				return r.Err
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/evm"
+	"repro/internal/gas"
+	"repro/internal/types"
+)
+
+// NaiveTracker is the strawman one-time-token registry that § IV-C
+// dismisses ("a trivial way for the contract to realize this is to store
+// the index values of all one-time tokens having made a successful
+// access"): one storage word per used index, forever. It never misses a
+// token (unlike the windowed bitmap) but its storage footprint grows
+// without bound — one word per token instead of one bit amortized — which
+// is what the BenchmarkAblationBitmapVsMap ablation quantifies.
+type NaiveTracker struct {
+	baseSlot uint64
+}
+
+// NewNaiveTracker creates a tracker rooted at baseSlot.
+func NewNaiveTracker(baseSlot uint64) *NaiveTracker {
+	return &NaiveTracker{baseSlot: baseSlot}
+}
+
+// Use marks index used, failing with ErrTokenUsed on re-use. Each fresh
+// index costs a full cold SSTORE (20,000 gas) and occupies a whole storage
+// word.
+func (n *NaiveTracker) Use(c *evm.Call, index int64) error {
+	if index < 0 {
+		return fmt.Errorf("%w: negative index", ErrMalformedToken)
+	}
+	var key [8]byte
+	binary.BigEndian.PutUint64(key[:], uint64(index))
+	slot := evm.Slot(n.baseSlot, key[:])
+	word, err := c.LoadAs(gas.CatBitmap, slot)
+	if err != nil {
+		return err
+	}
+	if !word.IsZero() {
+		return fmt.Errorf("%w: index %d", ErrTokenUsed, index)
+	}
+	return c.StoreAs(gas.CatBitmap, slot, types.Hash{31: 1})
+}

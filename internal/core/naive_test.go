@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/evmtest"
+	"repro/internal/wallet"
+)
+
+func newNaiveHarness() *evm.Contract {
+	tracker := core.NewNaiveTracker(0)
+	c := evm.NewContract("NaiveHarness")
+	c.MustAddMethod(evm.Method{
+		Name:       "use",
+		Params:     []any{uint64(0)},
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			idx, _ := call.Arg(0).(uint64)
+			return nil, tracker.Use(call, int64(idx))
+		},
+	})
+	return c
+}
+
+func TestNaiveTrackerAtMostOnce(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	addr := env.Deploy(t, newNaiveHarness())
+
+	env.MustCall(t, 1, addr, "use", wallet.CallOpts{}, uint64(7))
+	r, err := env.Wallets[1].Call(addr, "use", wallet.CallOpts{}, uint64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status || !errors.Is(r.Err, core.ErrTokenUsed) {
+		t.Errorf("reuse: status=%v err=%v", r.Status, r.Err)
+	}
+}
+
+func TestNaiveTrackerNeverMisses(t *testing.T) {
+	// Unlike the windowed bitmap, the naive map accepts arbitrarily old
+	// fresh indexes — its correctness edge over Alg. 2, bought with
+	// unbounded storage.
+	env := evmtest.NewEnv(t, 2)
+	addr := env.Deploy(t, newNaiveHarness())
+
+	for _, idx := range []uint64{1000000, 3, 999, 0} {
+		env.MustCall(t, 1, addr, "use", wallet.CallOpts{}, idx)
+	}
+}
+
+func TestNaiveTrackerStorageGrowsLinearly(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	addr := env.Deploy(t, newNaiveHarness())
+	const n = 32
+	for i := uint64(0); i < n; i++ {
+		env.MustCall(t, 1, addr, "use", wallet.CallOpts{}, i)
+	}
+	// One full storage word per token — the § IV-C objection. (The
+	// equivalent bitmap stores 32 tokens in a single word.)
+	words := env.Chain.StorageWordsOf(addr)
+	if words != n {
+		t.Errorf("storage words = %d, want %d (one per token)", words, n)
+	}
+}

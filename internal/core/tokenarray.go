@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Call-chain token arrays (§ IV-D): a transaction that triggers a chain of
+// SMACS-enabled contracts carries one entry per contract, each entry tagged
+// with the contract address it is for:
+//
+//	SCA : tkA ‖ SCB : tkB ‖ SCC : tkC
+//
+// Each entry is 20 bytes of address followed by the 86-byte token.
+
+// EntryLength is the byte length of one tagged token-array entry.
+const EntryLength = types.AddressLength + TokenLength
+
+// EncodeEntry builds one address-tagged token-array entry.
+func EncodeEntry(contract types.Address, tk Token) []byte {
+	out := make([]byte, 0, EntryLength)
+	out = append(out, contract[:]...)
+	return append(out, tk.Encode()...)
+}
+
+// EntryFor scans a token array for the entry tagged with the given contract
+// address and returns the raw token bytes. scanned reports how many entries
+// were examined (used for Parse gas accounting in Tab. III).
+func EntryFor(tokens [][]byte, contract types.Address) (raw []byte, scanned int, err error) {
+	for i, entry := range tokens {
+		scanned = i + 1
+		if len(entry) != EntryLength {
+			return nil, scanned, fmt.Errorf("%w: entry %d is %d bytes, want %d",
+				ErrMalformedToken, i, len(entry), EntryLength)
+		}
+		if types.BytesToAddress(entry[:types.AddressLength]) == contract {
+			return entry[types.AddressLength:], scanned, nil
+		}
+	}
+	return nil, scanned, fmt.Errorf("%w: %s", ErrNoToken, contract)
+}
+
+// TokenFor scans and parses the token for a contract in one step.
+func TokenFor(tokens [][]byte, contract types.Address) (Token, error) {
+	raw, _, err := EntryFor(tokens, contract)
+	if err != nil {
+		return Token{}, err
+	}
+	return ParseToken(raw)
+}

@@ -1,0 +1,267 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/evmtest"
+	"repro/internal/gas"
+	"repro/internal/secp256k1"
+	"repro/internal/types"
+	"repro/internal/wallet"
+)
+
+var tsKey = secp256k1.PrivateKeyFromSeed([]byte("verifier ts"))
+
+// newProtected builds a SMACS-enabled contract: every public method runs
+// the Alg. 1 verification preamble before its body, per Fig. 4.
+func newProtected(v *core.Verifier) *evm.Contract {
+	c := evm.NewContract("Protected")
+	withVerify := func(body evm.Handler) evm.Handler {
+		return func(call *evm.Call) ([]any, error) {
+			if err := v.Verify(call); err != nil {
+				return nil, err
+			}
+			return body(call)
+		}
+	}
+	c.MustAddMethod(evm.Method{
+		Name:       "ping",
+		Visibility: evm.Public,
+		Handler: withVerify(func(call *evm.Call) ([]any, error) {
+			return []any{true}, nil
+		}),
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "act",
+		Params:     []any{uint64(0)},
+		Visibility: evm.Public,
+		Handler: withVerify(func(call *evm.Call) ([]any, error) {
+			n, _ := call.Arg(0).(uint64)
+			return []any{n * 2}, nil
+		}),
+	})
+	return c
+}
+
+type fixture struct {
+	env      *evmtest.Env
+	addr     types.Address
+	verifier *core.Verifier
+}
+
+func newFixture(t *testing.T, bitmapBits int) *fixture {
+	t.Helper()
+	env := evmtest.NewEnv(t, 3)
+	v := core.NewVerifier(tsKey.Address())
+	contract := newProtected(v)
+	if bitmapBits > 0 {
+		bm, err := core.NewBitmap(bitmapBits, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.WithBitmap(bm)
+		contract.SetInitialStorageWords(bm.StorageWords())
+	}
+	addr := env.Deploy(t, contract)
+	return &fixture{env: env, addr: addr, verifier: v}
+}
+
+// issue signs a token binding the given client wallet and call shape.
+func (f *fixture) issue(t *testing.T, tp core.TokenType, index int64, clientIdx int, method string, args ...any) wallet.CallOpts {
+	t.Helper()
+	expire := f.env.Clock.Now().Add(time.Hour)
+	binding := core.Binding{
+		Origin:   f.env.Wallets[clientIdx].Address(),
+		Contract: f.addr,
+	}
+	if tp != core.SuperType {
+		data, err := buildAppData(method, args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(binding.Selector[:], data[:4])
+		binding.Data = data
+	}
+	tk, err := core.SignToken(tsKey, tp, expire, index, binding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wallet.WithTokens(wallet.TokenEntry{Contract: f.addr, Token: tk})
+}
+
+func buildAppData(method string, args ...any) ([]byte, error) {
+	tx := evm.Transaction{Method: method, Args: args}
+	return tx.AppData()
+}
+
+func TestSuperTokenAccessesAllMethods(t *testing.T) {
+	f := newFixture(t, 0)
+	opts := f.issue(t, core.SuperType, core.NotOneTime, 1, "")
+	f.env.MustCall(t, 1, f.addr, "ping", opts)
+	r := f.env.MustCall(t, 1, f.addr, "act", opts, uint64(21))
+	if got := r.Return[0].(uint64); got != 42 {
+		t.Errorf("act returned %d", got)
+	}
+}
+
+func TestMethodTokenScope(t *testing.T) {
+	f := newFixture(t, 0)
+	opts := f.issue(t, core.MethodType, core.NotOneTime, 1, "act", uint64(0))
+	// Bound method works, with any argument value.
+	f.env.MustCall(t, 1, f.addr, "act", opts, uint64(1))
+	f.env.MustCall(t, 1, f.addr, "act", opts, uint64(999))
+	// Another method is rejected.
+	r := f.env.CallExpectRevert(t, 1, f.addr, "ping", opts)
+	if !errors.Is(r.Err, core.ErrBadTokenSig) {
+		t.Errorf("cross-method err = %v, want ErrBadTokenSig", r.Err)
+	}
+}
+
+func TestArgumentTokenScope(t *testing.T) {
+	f := newFixture(t, 0)
+	opts := f.issue(t, core.ArgumentType, core.NotOneTime, 1, "act", uint64(7))
+	f.env.MustCall(t, 1, f.addr, "act", opts, uint64(7))
+	// Same method, different argument — the msg.data binding must fail.
+	r := f.env.CallExpectRevert(t, 1, f.addr, "act", opts, uint64(8))
+	if !errors.Is(r.Err, core.ErrBadTokenSig) {
+		t.Errorf("argument-swap err = %v, want ErrBadTokenSig", r.Err)
+	}
+}
+
+func TestSubstitutionAttackRejected(t *testing.T) {
+	// § VII-A(a): an attacker intercepting a token cannot use it from
+	// another account — the origin binding fails.
+	f := newFixture(t, 0)
+	opts := f.issue(t, core.SuperType, core.NotOneTime, 1, "")
+	r := f.env.CallExpectRevert(t, 2, f.addr, "ping", opts)
+	if !errors.Is(r.Err, core.ErrBadTokenSig) {
+		t.Errorf("substitution err = %v, want ErrBadTokenSig", r.Err)
+	}
+}
+
+func TestExpiredTokenRejected(t *testing.T) {
+	f := newFixture(t, 0)
+	opts := f.issue(t, core.SuperType, core.NotOneTime, 1, "")
+	f.env.MustCall(t, 1, f.addr, "ping", opts)
+	f.env.Clock.Advance(2 * time.Hour)
+	r := f.env.CallExpectRevert(t, 1, f.addr, "ping", opts)
+	if !errors.Is(r.Err, core.ErrTokenExpired) {
+		t.Errorf("expired err = %v, want ErrTokenExpired", r.Err)
+	}
+}
+
+func TestOneTimeTokenSingleUse(t *testing.T) {
+	f := newFixture(t, 64)
+	opts := f.issue(t, core.SuperType, 0, 1, "")
+	f.env.MustCall(t, 1, f.addr, "ping", opts)
+	r := f.env.CallExpectRevert(t, 1, f.addr, "ping", opts)
+	if !errors.Is(r.Err, core.ErrTokenUsed) {
+		t.Errorf("reuse err = %v, want ErrTokenUsed", r.Err)
+	}
+	// A fresh index works again.
+	opts2 := f.issue(t, core.SuperType, 1, 1, "")
+	f.env.MustCall(t, 1, f.addr, "ping", opts2)
+}
+
+func TestOneTimeWithoutBitmapRejected(t *testing.T) {
+	f := newFixture(t, 0)
+	opts := f.issue(t, core.SuperType, 0, 1, "")
+	r := f.env.CallExpectRevert(t, 1, f.addr, "ping", opts)
+	if !errors.Is(r.Err, core.ErrNoBitmap) {
+		t.Errorf("err = %v, want ErrNoBitmap", r.Err)
+	}
+}
+
+func TestFailedVerificationDoesNotBurnIndex(t *testing.T) {
+	// A one-time token whose signature check fails must not mark its index
+	// used: the revert rolls the bitmap back, so the legitimate holder can
+	// still use it.
+	f := newFixture(t, 64)
+
+	// Attacker (wallet 2) tries a one-time token issued to wallet 1.
+	opts := f.issue(t, core.SuperType, 0, 1, "")
+	f.env.CallExpectRevert(t, 2, f.addr, "ping", opts)
+
+	// The legitimate client can still use index 0.
+	f.env.MustCall(t, 1, f.addr, "ping", opts)
+}
+
+func TestMissingTokenRejected(t *testing.T) {
+	f := newFixture(t, 0)
+	r := f.env.CallExpectRevert(t, 1, f.addr, "ping", wallet.CallOpts{})
+	if !errors.Is(r.Err, core.ErrNoToken) {
+		t.Errorf("err = %v, want ErrNoToken", r.Err)
+	}
+	// A token tagged for a different contract is also "no token".
+	other := f.issue(t, core.SuperType, core.NotOneTime, 1, "")
+	other.Tokens[0][0] ^= 0xff // corrupt the address tag
+	r = f.env.CallExpectRevert(t, 1, f.addr, "ping", other)
+	if !errors.Is(r.Err, core.ErrNoToken) {
+		t.Errorf("err = %v, want ErrNoToken", r.Err)
+	}
+}
+
+func TestVerifyGasMatchesPaperTableII(t *testing.T) {
+	// The calibrated cost model must reproduce the paper's Verify column:
+	// super 108282, method 115108 (Tab. II). These are exact by
+	// construction; the test pins the calibration.
+	f := newFixture(t, 0)
+
+	opts := f.issue(t, core.SuperType, core.NotOneTime, 1, "")
+	r := f.env.MustCall(t, 1, f.addr, "ping", opts)
+	if got := r.GasByCategory[gas.CatVerify]; got != 108282 {
+		t.Errorf("super verify gas = %d, want 108282", got)
+	}
+
+	opts = f.issue(t, core.MethodType, core.NotOneTime, 1, "ping")
+	r = f.env.MustCall(t, 1, f.addr, "ping", opts)
+	if got := r.GasByCategory[gas.CatVerify]; got != 115108 {
+		t.Errorf("method verify gas = %d, want 115108", got)
+	}
+}
+
+func TestOneTimeBitmapGasInPaperRange(t *testing.T) {
+	// Paper Tab. II: bitmap cost ≈ 27-28k gas per one-time token. Our raw
+	// schedule gives the same order (2 sloads + word write).
+	f := newFixture(t, 64)
+	opts := f.issue(t, core.SuperType, 0, 1, "")
+	r := f.env.MustCall(t, 1, f.addr, "ping", opts)
+	got := r.GasByCategory[gas.CatBitmap]
+	if got < 15000 || got > 35000 {
+		t.Errorf("bitmap gas = %d, want within 15k-35k (paper ≈27.5k)", got)
+	}
+}
+
+func TestCallChainParseGasCharged(t *testing.T) {
+	// With multiple tokens in a transaction, scanning the array is charged
+	// to the parse category (Tab. III).
+	f := newFixture(t, 0)
+	expire := f.env.Clock.Now().Add(time.Hour)
+	tk, err := core.SignToken(tsKey, core.SuperType, expire, core.NotOneTime, core.Binding{
+		Origin:   f.env.Wallets[1].Address(),
+		Contract: f.addr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoy, err := core.SignToken(tsKey, core.SuperType, expire, core.NotOneTime, core.Binding{
+		Origin:   f.env.Wallets[1].Address(),
+		Contract: types.Address{0xde},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wallet.WithTokens(
+		wallet.TokenEntry{Contract: types.Address{0xde}, Token: decoy},
+		wallet.TokenEntry{Contract: f.addr, Token: tk},
+	)
+	r := f.env.MustCall(t, 1, f.addr, "ping", opts)
+	want := 2 * core.GasParseEntry // scanned both entries
+	if got := r.GasByCategory[gas.CatParse]; got != want {
+		t.Errorf("parse gas = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,75 @@
+package evm_test
+
+import (
+	"testing"
+
+	"repro/internal/evmtest"
+	"repro/internal/wallet"
+)
+
+func TestBlockAccessors(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	addr := env.Deploy(t, newCounter())
+
+	genesis, ok := env.Chain.BlockByNumber(0)
+	if !ok || genesis.Number != 0 {
+		t.Fatalf("genesis lookup: %v %v", genesis, ok)
+	}
+
+	r := env.MustCall(t, 1, addr, "increment", wallet.CallOpts{})
+	blk, ok := env.Chain.BlockByNumber(r.BlockNumber)
+	if !ok {
+		t.Fatalf("block %d missing", r.BlockNumber)
+	}
+	if blk.TxHash != r.TxHash {
+		t.Errorf("block tx hash %s != receipt %s", blk.TxHash, r.TxHash)
+	}
+	if blk.Receipt != r {
+		t.Error("block does not reference its receipt")
+	}
+	if _, ok := env.Chain.BlockByNumber(env.Chain.Height() + 1); ok {
+		t.Error("future block lookup succeeded")
+	}
+}
+
+func TestDeployerTracking(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	creator := env.Wallets[1].Address()
+
+	a1, _, err := env.Chain.Deploy(creator, newCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := env.Chain.Deploy(creator, newCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d, ok := env.Chain.Deployer(a1); !ok || d != creator {
+		t.Errorf("Deployer(%s) = %s, %v", a1, d, ok)
+	}
+	got := env.Chain.DeployedBy(creator)
+	if len(got) != 2 {
+		t.Fatalf("DeployedBy = %v, want 2 contracts", got)
+	}
+	seen := map[string]bool{got[0].Hex(): true, got[1].Hex(): true}
+	if !seen[a1.Hex()] || !seen[a2.Hex()] {
+		t.Errorf("DeployedBy missing contracts: %v", got)
+	}
+	if others := env.Chain.DeployedBy(env.Wallets[0].Address()); len(others) != 0 {
+		t.Errorf("unexpected deployments for wallet 0: %v", others)
+	}
+	if _, ok := env.Chain.Deployer(env.Wallets[0].Address()); ok {
+		t.Error("EOA reported as deployed contract")
+	}
+}
+
+func TestReceiptFee(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	addr := env.Deploy(t, newCounter())
+	r := env.MustCall(t, 1, addr, "increment", wallet.CallOpts{})
+	wantUSD := env.Chain.Config().Price.USD(r.GasUsed)
+	if r.FeeUSD != wantUSD {
+		t.Errorf("FeeUSD = %f, want %f", r.FeeUSD, wantUSD)
+	}
+}

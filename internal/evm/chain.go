@@ -1,0 +1,501 @@
+package evm
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/gas"
+	"repro/internal/keccak"
+	"repro/internal/rlp"
+	"repro/internal/state"
+	"repro/internal/types"
+)
+
+// Config parameterizes a simulated chain.
+type Config struct {
+	// ChainID protects transactions against cross-chain replay.
+	ChainID uint64
+	// BlockGasLimit caps the gas of a single transaction/block.
+	BlockGasLimit uint64
+	// Price converts gas to ether/USD in receipts and benchmarks.
+	Price gas.Price
+	// Now supplies block timestamps; defaults to time.Now. Inject a fake
+	// clock in tests to exercise token expiry deterministically.
+	Now func() time.Time
+}
+
+// DefaultConfig returns a testnet-like configuration.
+func DefaultConfig() Config {
+	return Config{ChainID: 1337, BlockGasLimit: 12_000_000, Price: gas.DefaultPrice}
+}
+
+// Block is a mined block. The simulated chain mines one block per
+// transaction, like an instant-sealing geth dev testnet (the environment
+// the paper evaluates on).
+type Block struct {
+	// Number is the block height.
+	Number uint64
+	// Time is the block timestamp.
+	Time time.Time
+	// TxHash is the hash of the included transaction (zero for the genesis
+	// and deploy blocks without user transactions).
+	TxHash types.Hash
+	// Receipt is the execution receipt of the included transaction.
+	Receipt *Receipt
+
+	stateSnapshot int
+}
+
+// Receipt reports the outcome of a transaction or deployment.
+type Receipt struct {
+	// Status is true for successful execution.
+	Status bool
+	// Err is the revert reason for failed executions.
+	Err error
+	// GasUsed is the total gas consumed.
+	GasUsed uint64
+	// GasByCategory breaks GasUsed down by accounting category
+	// (intrinsic / verify / bitmap / parse / misc / app).
+	GasByCategory map[gas.Category]uint64
+	// FeeUSD is the fee in US dollars under the chain's price calibration.
+	FeeUSD float64
+	// Return holds the top-level call's return values.
+	Return []any
+	// Trace is the full execution trace (consumed by runtime-verification
+	// tools).
+	Trace *Trace
+	// BlockNumber is the height of the including block.
+	BlockNumber uint64
+	// TxHash identifies the transaction.
+	TxHash types.Hash
+}
+
+// Chain is a single-node simulated Ethereum chain. All methods are safe for
+// concurrent use.
+type Chain struct {
+	mu         sync.Mutex
+	cfg        Config
+	db         *state.DB
+	contracts  map[types.Address]*Contract
+	deployedAt map[types.Address]uint64
+	deployerOf map[types.Address]types.Address
+	blocks     []*Block
+}
+
+// NewChain creates a chain with a genesis block.
+func NewChain(cfg Config) *Chain {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.BlockGasLimit == 0 {
+		cfg.BlockGasLimit = 12_000_000
+	}
+	if cfg.Price == (gas.Price{}) {
+		cfg.Price = gas.DefaultPrice
+	}
+	ch := &Chain{
+		cfg:        cfg,
+		db:         state.New(),
+		contracts:  make(map[types.Address]*Contract),
+		deployedAt: make(map[types.Address]uint64),
+		deployerOf: make(map[types.Address]types.Address),
+	}
+	ch.blocks = append(ch.blocks, &Block{Number: 0, Time: cfg.Now()})
+	return ch
+}
+
+// Config returns the chain configuration.
+func (ch *Chain) Config() Config { return ch.cfg }
+
+// Now returns the current chain time (next block timestamp).
+func (ch *Chain) Now() time.Time { return ch.cfg.Now() }
+
+// Fund credits amount wei to addr — the dev-testnet faucet.
+func (ch *Chain) Fund(addr types.Address, amount *big.Int) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.db.AddBalance(addr, amount)
+}
+
+// Balance returns the current balance of addr.
+func (ch *Chain) Balance(addr types.Address) *big.Int {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.db.Balance(addr)
+}
+
+// NonceOf returns the current account nonce of addr.
+func (ch *Chain) NonceOf(addr types.Address) uint64 {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.db.Nonce(addr)
+}
+
+// Deployer returns the account that deployed the contract at addr. This is
+// public on-chain information (derivable from the deployment transaction);
+// the ECF runtime-verification tool uses it to simulate calls routed
+// through a requester's own contracts.
+func (ch *Chain) Deployer(addr types.Address) (types.Address, bool) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	d, ok := ch.deployerOf[addr]
+	return d, ok
+}
+
+// DeployedBy lists the contracts deployed by creator.
+func (ch *Chain) DeployedBy(creator types.Address) []types.Address {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	var out []types.Address
+	for addr, d := range ch.deployerOf {
+		if d == creator {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// StorageWordsOf returns the number of distinct storage words the contract
+// at addr occupies (used by storage-footprint experiments).
+func (ch *Chain) StorageWordsOf(addr types.Address) int {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.db.StorageWords(addr)
+}
+
+// ContractAt returns the contract registered at addr.
+func (ch *Chain) ContractAt(addr types.Address) (*Contract, bool) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	c, ok := ch.contracts[addr]
+	return c, ok
+}
+
+// Height returns the current block height.
+func (ch *Chain) Height() uint64 {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.blocks[len(ch.blocks)-1].Number
+}
+
+// BlockByNumber returns the block at the given height.
+func (ch *Chain) BlockByNumber(n uint64) (*Block, bool) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if n >= uint64(len(ch.blocks)) {
+		return nil, false
+	}
+	return ch.blocks[n], true
+}
+
+// Deploy registers a contract on the chain under a CREATE-style address
+// (keccak(rlp(creator, nonce))[12:]) and charges the creator the deployment
+// gas, including SStoreSet per pre-allocated storage word (the one-time
+// bitmap cost of Table IV).
+func (ch *Chain) Deploy(creator types.Address, contract *Contract) (types.Address, *Receipt, error) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+
+	nonce := ch.db.Nonce(creator)
+	enc, err := rlp.EncodeList(creator.Bytes(), nonce)
+	if err != nil {
+		return types.Address{}, nil, fmt.Errorf("deploy: %w", err)
+	}
+	h := keccak.Sum256(enc)
+	addr := types.BytesToAddress(h[12:])
+	if _, taken := ch.contracts[addr]; taken {
+		return types.Address{}, nil, fmt.Errorf("deploy: address %s already occupied", addr)
+	}
+
+	const createGas = 32000
+	meter := gas.NewMeter(ch.cfg.BlockGasLimit)
+	if err := meter.Charge(gas.CatIntrinsic, gas.TxBase+createGas); err != nil {
+		return types.Address{}, nil, err
+	}
+	// Code-deposit approximation: 200 gas per "byte", with each declared
+	// method contributing a fixed 64-byte footprint.
+	codeBytes := uint64(64 * (len(contract.byName) + 1))
+	if err := meter.Charge(gas.CatIntrinsic, 200*codeBytes); err != nil {
+		return types.Address{}, nil, err
+	}
+	for i := 0; i < contract.initWords; i++ {
+		if err := meter.Charge(gas.CatBitmap, gas.SStoreSet); err != nil {
+			return types.Address{}, nil, err
+		}
+	}
+
+	ch.db.IncNonce(creator)
+	ch.db.MarkContract(addr)
+	ch.contracts[addr] = contract
+	ch.deployedAt[addr] = uint64(len(ch.blocks))
+	ch.deployerOf[addr] = creator
+
+	receipt := &Receipt{
+		Status:        true,
+		GasUsed:       meter.Used(),
+		GasByCategory: meter.ByCategory(),
+		FeeUSD:        ch.cfg.Price.USD(meter.Used()),
+	}
+	ch.mineLocked(types.Hash{}, receipt)
+	return addr, receipt, nil
+}
+
+// Apply verifies and executes a signed transaction, mining it into a new
+// block. Verification mirrors Ethereum: signature recovery, strict nonce
+// match (replay protection), and balance coverage of value + max fee.
+func (ch *Chain) Apply(tx *Transaction) (*Receipt, error) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+
+	sender, err := tx.Sender(ch.cfg.ChainID)
+	if err != nil {
+		return nil, err
+	}
+	switch nonce := ch.db.Nonce(sender); {
+	case tx.Nonce < nonce:
+		return nil, fmt.Errorf("%w: tx nonce %d, account nonce %d", ErrNonceTooLow, tx.Nonce, nonce)
+	case tx.Nonce > nonce:
+		return nil, fmt.Errorf("%w: tx nonce %d, account nonce %d", ErrNonceTooHigh, tx.Nonce, nonce)
+	}
+
+	gasPrice := cpBig(tx.GasPrice)
+	maxFee := new(big.Int).Mul(gasPrice, new(big.Int).SetUint64(tx.GasLimit))
+	need := new(big.Int).Add(maxFee, cpBig(tx.Value))
+	if ch.db.Balance(sender).Cmp(need) < 0 {
+		return nil, fmt.Errorf("%w: %s needs %s wei", ErrInsufficientETH, sender, need)
+	}
+
+	wireData, err := tx.WireData()
+	if err != nil {
+		return nil, err
+	}
+	intrinsic := gas.TxBase + gas.CalldataGas(wireData)
+	if intrinsic > tx.GasLimit {
+		return nil, fmt.Errorf("%w: intrinsic %d > limit %d", ErrIntrinsicGas, intrinsic, tx.GasLimit)
+	}
+
+	txHash, err := tx.Hash(ch.cfg.ChainID)
+	if err != nil {
+		return nil, err
+	}
+
+	// Buy gas up front; refund the unused remainder afterwards.
+	ch.db.IncNonce(sender)
+	if err := ch.db.SubBalance(sender, maxFee); err != nil {
+		return nil, err
+	}
+
+	meter := gas.NewMeter(tx.GasLimit)
+	_ = meter.Charge(gas.CatIntrinsic, intrinsic) // checked above
+
+	trace := &Trace{}
+	blockTime := ch.cfg.Now()
+	snap := ch.db.Snapshot()
+
+	receipt := &Receipt{Trace: trace, TxHash: txHash}
+	var execErr error
+	if tx.Method == "" {
+		// Plain value transfer.
+		execErr = ch.db.SubBalance(sender, tx.Value)
+		if execErr == nil {
+			ch.db.AddBalance(tx.To, tx.Value)
+		}
+	} else {
+		var appData []byte
+		appData, execErr = tx.AppData()
+		if execErr == nil {
+			receipt.Return, execErr = ch.execute(execParams{
+				origin:    sender,
+				caller:    sender,
+				to:        tx.To,
+				value:     tx.Value,
+				appData:   appData,
+				tokens:    tx.Tokens,
+				meter:     meter,
+				depth:     0,
+				blockTime: blockTime,
+				trace:     trace,
+			})
+		}
+	}
+	if execErr != nil {
+		ch.db.RevertToSnapshot(snap)
+		receipt.Err = execErr
+	}
+	receipt.Status = execErr == nil
+	receipt.GasUsed = meter.Used()
+	receipt.GasByCategory = meter.ByCategory()
+	receipt.FeeUSD = ch.cfg.Price.USD(meter.Used())
+
+	// Refund unused gas.
+	unused := new(big.Int).SetUint64(meter.Remaining())
+	ch.db.AddBalance(sender, unused.Mul(unused, gasPrice))
+
+	ch.mineLocked(txHash, receipt)
+	return receipt, nil
+}
+
+// StaticCall executes a read-only call (like eth_call): the state is
+// snapshotted and always reverted, and no block is mined. The Token
+// Service's runtime-verification tools use this to simulate requested calls
+// on a forked testnet.
+func (ch *Chain) StaticCall(from, to types.Address, method string, args []any, tokens [][]byte) ([]any, *Receipt, error) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+
+	appData, err := abi.Pack(method, args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	meter := gas.NewMeter(ch.cfg.BlockGasLimit)
+	trace := &Trace{}
+	snap := ch.db.Snapshot()
+	ret, execErr := ch.execute(execParams{
+		origin:    from,
+		caller:    from,
+		to:        to,
+		value:     new(big.Int),
+		appData:   appData,
+		tokens:    tokens,
+		meter:     meter,
+		depth:     0,
+		blockTime: ch.cfg.Now(),
+		trace:     trace,
+	})
+	ch.db.RevertToSnapshot(snap)
+	receipt := &Receipt{
+		Status:        execErr == nil,
+		Err:           execErr,
+		GasUsed:       meter.Used(),
+		GasByCategory: meter.ByCategory(),
+		FeeUSD:        ch.cfg.Price.USD(meter.Used()),
+		Return:        ret,
+		Trace:         trace,
+	}
+	return ret, receipt, execErr
+}
+
+// execParams carries the inputs of one call frame execution.
+type execParams struct {
+	origin, caller, to types.Address
+	value              *big.Int
+	appData            []byte
+	tokens             [][]byte
+	meter              *gas.Meter
+	depth              int
+	blockTime          time.Time
+	trace              *Trace
+}
+
+// execute runs one call frame: resolves the contract and method, moves
+// value, runs the handler, and reverts the frame's state changes on error.
+// The chain mutex must be held.
+func (ch *Chain) execute(p execParams) ([]any, error) {
+	contract, ok := ch.contracts[p.to]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrContractNotFound, p.to)
+	}
+	if len(p.appData) < abi.SelectorLength {
+		return nil, fmt.Errorf("%w: calldata too short", ErrUnknownMethod)
+	}
+	var sel abi.Selector
+	copy(sel[:], p.appData[:abi.SelectorLength])
+	method, ok := contract.methods[sel]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s has no method with selector %s", ErrUnknownMethod, contract.name, sel.Hex())
+	}
+	value := cpBig(p.value)
+	if value.Sign() > 0 && !method.Payable {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNotPayable, contract.name, method.Name)
+	}
+
+	args, err := abi.Decode(p.appData[abi.SelectorLength:], method.Params...)
+	if err != nil {
+		return nil, fmt.Errorf("decode args of %s.%s: %w", contract.name, method.Name, err)
+	}
+
+	snap := ch.db.Snapshot()
+	if value.Sign() > 0 {
+		if err := ch.db.SubBalance(p.caller, value); err != nil {
+			return nil, err
+		}
+		ch.db.AddBalance(p.to, value)
+	}
+
+	frame := &Call{
+		chain:     ch,
+		origin:    p.origin,
+		caller:    p.caller,
+		self:      p.to,
+		value:     value,
+		contract:  contract,
+		method:    method,
+		args:      args,
+		tokens:    p.tokens,
+		appData:   p.appData,
+		meter:     p.meter,
+		depth:     p.depth,
+		blockTime: p.blockTime,
+		trace:     p.trace,
+	}
+	p.trace.add(TraceEvent{Kind: TraceCall, Depth: p.depth, From: p.caller, To: p.to, Method: method.Name, Amount: value})
+	ret, err := method.Handler(frame)
+	p.trace.add(TraceEvent{Kind: TraceReturn, Depth: p.depth, From: p.to, To: p.caller, Method: method.Name, Err: errString(err)})
+	if err != nil {
+		ch.db.RevertToSnapshot(snap)
+		return nil, err
+	}
+	return ret, nil
+}
+
+// mineLocked appends a block containing the given transaction.
+func (ch *Chain) mineLocked(txHash types.Hash, receipt *Receipt) {
+	snap := ch.db.Snapshot()
+	blk := &Block{
+		Number:        uint64(len(ch.blocks)),
+		Time:          ch.cfg.Now(),
+		TxHash:        txHash,
+		Receipt:       receipt,
+		stateSnapshot: snap,
+	}
+	if receipt != nil {
+		receipt.BlockNumber = blk.Number
+	}
+	ch.blocks = append(ch.blocks, blk)
+}
+
+// ErrBadReorg is returned for impossible reorg targets.
+var ErrBadReorg = errors.New("evm: invalid reorg target")
+
+// Reorg rewinds the chain to the given height, discarding later blocks and
+// reverting their state transitions. It models the 51%-attack scenario of
+// § VII-A: an adversary can erase transactions from history but — as the
+// security tests demonstrate — still cannot forge tokens.
+func (ch *Chain) Reorg(toHeight uint64) error {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if toHeight >= uint64(len(ch.blocks)) {
+		return fmt.Errorf("%w: height %d, chain at %d", ErrBadReorg, toHeight, len(ch.blocks)-1)
+	}
+	// blocks[toHeight] is the new head; its stateSnapshot captured the
+	// state right after it was mined.
+	target := ch.blocks[toHeight]
+	if toHeight == 0 {
+		ch.db.RevertToSnapshot(0)
+	} else {
+		ch.db.RevertToSnapshot(target.stateSnapshot)
+	}
+	for addr, height := range ch.deployedAt {
+		if height > toHeight {
+			delete(ch.contracts, addr)
+			delete(ch.deployedAt, addr)
+			delete(ch.deployerOf, addr)
+		}
+	}
+	ch.blocks = ch.blocks[:toHeight+1]
+	return nil
+}

@@ -1,0 +1,79 @@
+package evm_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/evmtest"
+	"repro/internal/wallet"
+)
+
+func TestConcurrentTransactions(t *testing.T) {
+	// The chain must serialize concurrent submissions safely; every
+	// transaction lands, and the counter ends at the exact total.
+	const (
+		workers = 8
+		perEach = 10
+	)
+	env := evmtest.NewEnv(t, workers)
+	addr := env.Deploy(t, newCounter())
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perEach; j++ {
+				// Each wallet owns its nonce sequence, so submissions
+				// from distinct wallets are independent.
+				r, err := env.Wallets[i].Call(addr, "increment", wallet.CallOpts{})
+				if err != nil {
+					t.Errorf("worker %d: %v", i, err)
+					return
+				}
+				if !r.Status {
+					t.Errorf("worker %d: revert %v", i, r.Err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	r := env.MustCall(t, 0, addr, "get", wallet.CallOpts{})
+	if got := r.Return[0].(uint64); got != workers*perEach {
+		t.Errorf("counter = %d, want %d", got, workers*perEach)
+	}
+	// One block was mined per transaction (plus deploy and the final get).
+	if h := env.Chain.Height(); h < workers*perEach {
+		t.Errorf("height = %d, want ≥ %d", h, workers*perEach)
+	}
+}
+
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	addr := env.Deploy(t, newCounter())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				env.Chain.Balance(env.Wallets[1].Address())
+				env.Chain.Height()
+				env.Chain.NonceOf(env.Wallets[1].Address())
+				_, _, _ = env.Chain.StaticCall(env.Wallets[1].Address(), addr, "get", nil, nil)
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		env.MustCall(t, 1, addr, "increment", wallet.CallOpts{})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,221 @@
+// Package evm implements the simulated Ethereum substrate SMACS runs on: a
+// single-node chain with accounts, replay-protected signed transactions,
+// gas-metered execution, message calls with call chains, per-transaction
+// traces, and reorg support.
+//
+// Contracts are Go objects registered on the chain. Each contract exposes a
+// method table keyed by ABI selectors; handlers receive a *Call context that
+// models the EVM's transaction-context objects (tx.origin, msg.sender,
+// msg.sig, msg.data) and charges gas for storage and computation using the
+// real Ethereum gas schedule.
+package evm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/abi"
+)
+
+// Visibility mirrors Solidity method visibility (§ II-B of the paper).
+type Visibility int
+
+// Solidity visibility levels.
+const (
+	// External methods are callable via transactions and from other
+	// contracts, but not internally.
+	External Visibility = iota + 1
+	// Public methods are callable via transactions, messages, and
+	// internally.
+	Public
+	// Internal methods are only callable from within the contract.
+	Internal
+	// Private methods are only callable from within the defining contract.
+	Private
+)
+
+// String implements fmt.Stringer.
+func (v Visibility) String() string {
+	switch v {
+	case External:
+		return "external"
+	case Public:
+		return "public"
+	case Internal:
+		return "internal"
+	case Private:
+		return "private"
+	default:
+		return fmt.Sprintf("visibility(%d)", int(v))
+	}
+}
+
+// Dispatchable reports whether the method may appear in the external
+// dispatch table (i.e., be the target of a transaction or message call).
+func (v Visibility) Dispatchable() bool { return v == External || v == Public }
+
+// Handler is the body of a contract method. It returns the method's return
+// values (ABI-compatible Go values) or an error, which reverts the call
+// frame.
+type Handler func(c *Call) ([]any, error)
+
+// Method describes one contract method.
+type Method struct {
+	// Name is the bare method name, e.g. "transfer".
+	Name string
+	// Params are prototype values fixing the parameter types; their
+	// contents are ignored. E.g. []any{types.Address{}, (*big.Int)(nil)}.
+	Params []any
+	// Visibility controls who may call the method.
+	Visibility Visibility
+	// Payable permits the method to receive value.
+	Payable bool
+	// Handler is the method body.
+	Handler Handler
+
+	signature string
+	selector  abi.Selector
+}
+
+// Signature returns the canonical ABI signature (set when the method is
+// added to a contract).
+func (m *Method) Signature() string { return m.signature }
+
+// Selector returns the 4-byte ABI selector.
+func (m *Method) Selector() abi.Selector { return m.selector }
+
+// Errors reported by contract construction and dispatch.
+var (
+	ErrUnknownMethod   = errors.New("evm: unknown method")
+	ErrNotCallable     = errors.New("evm: method not callable in this context")
+	ErrNotPayable      = errors.New("evm: method is not payable")
+	ErrDuplicateMethod = errors.New("evm: duplicate method")
+)
+
+// Contract is a deployable unit of logic: a named method table plus an
+// optional fallback and free-form metadata (used, e.g., for Token Service
+// discovery per § VII-B of the paper).
+type Contract struct {
+	name      string
+	methods   map[abi.Selector]*Method
+	byName    map[string]*Method
+	fallback  Handler
+	metadata  map[string]string
+	initWords int
+}
+
+// NewContract creates an empty contract with the given human-readable name.
+func NewContract(name string) *Contract {
+	return &Contract{
+		name:     name,
+		methods:  make(map[abi.Selector]*Method),
+		byName:   make(map[string]*Method),
+		metadata: make(map[string]string),
+	}
+}
+
+// Name returns the contract's human-readable name.
+func (c *Contract) Name() string { return c.name }
+
+// AddMethod registers a method, deriving its canonical signature and
+// selector from the name and parameter prototypes.
+func (c *Contract) AddMethod(m Method) error {
+	if m.Handler == nil {
+		return fmt.Errorf("evm: method %q has no handler", m.Name)
+	}
+	if m.Visibility == 0 {
+		m.Visibility = Public
+	}
+	sig, err := abi.Signature(m.Name, m.Params...)
+	if err != nil {
+		return fmt.Errorf("method %q: %w", m.Name, err)
+	}
+	m.signature = sig
+	m.selector = abi.SelectorFor(sig)
+	if _, dup := c.byName[m.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateMethod, m.Name)
+	}
+	if _, dup := c.methods[m.selector]; dup {
+		return fmt.Errorf("%w: selector collision for %q", ErrDuplicateMethod, m.Name)
+	}
+	mc := m
+	c.byName[m.Name] = &mc
+	if m.Visibility.Dispatchable() {
+		c.methods[m.selector] = &mc
+	}
+	return nil
+}
+
+// MustAddMethod is AddMethod that panics on error; intended for contract
+// constructors where a failure is a programming bug.
+func (c *Contract) MustAddMethod(m Method) {
+	if err := c.AddMethod(m); err != nil {
+		panic(err)
+	}
+}
+
+// OverrideDispatch replaces the externally dispatched handler of a method
+// while leaving internal Invoke dispatch on the original body. This is the
+// mechanism behind the paper's Fig. 4 transformation: a public method h is
+// split into a verifying public wrapper h(token) and a non-verifying
+// private body _h used by internal callers.
+func (c *Contract) OverrideDispatch(name string, h Handler) error {
+	m, ok := c.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMethod, name)
+	}
+	if !m.Visibility.Dispatchable() {
+		return fmt.Errorf("%w: %s is %s", ErrNotCallable, name, m.Visibility)
+	}
+	wrapped := *m
+	wrapped.Handler = h
+	c.methods[m.selector] = &wrapped
+	return nil
+}
+
+// SetFallback installs the anonymous payable fallback method invoked on
+// plain value transfers to the contract (the re-entrancy vector of Fig. 7).
+func (c *Contract) SetFallback(h Handler) { c.fallback = h }
+
+// Fallback returns the fallback handler, if any.
+func (c *Contract) Fallback() Handler { return c.fallback }
+
+// Method looks a method up by name (any visibility).
+func (c *Contract) Method(name string) (*Method, bool) {
+	m, ok := c.byName[name]
+	return m, ok
+}
+
+// MethodBySelector looks a dispatchable method up by ABI selector.
+func (c *Contract) MethodBySelector(sel abi.Selector) (*Method, bool) {
+	m, ok := c.methods[sel]
+	return m, ok
+}
+
+// Methods returns all registered methods (any visibility).
+func (c *Contract) Methods() []*Method {
+	out := make([]*Method, 0, len(c.byName))
+	for _, m := range c.byName {
+		out = append(out, m)
+	}
+	return out
+}
+
+// SetMetadata attaches a metadata entry to the contract (e.g., the Token
+// Service URL under the "smacs.ts" key).
+func (c *Contract) SetMetadata(key, value string) { c.metadata[key] = value }
+
+// Metadata reads a metadata entry.
+func (c *Contract) Metadata(key string) (string, bool) {
+	v, ok := c.metadata[key]
+	return v, ok
+}
+
+// SetInitialStorageWords declares how many zeroed storage words the
+// contract pre-allocates at deployment (the one-time-token bitmap of
+// Alg. 2). Deployment charges SStoreSet per word — this is the one-time
+// cost Table IV reports.
+func (c *Contract) SetInitialStorageWords(n int) { c.initWords = n }
+
+// InitialStorageWords returns the declared pre-allocated storage size.
+func (c *Contract) InitialStorageWords() int { return c.initWords }

@@ -1,0 +1,153 @@
+package evm
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/abi"
+	"repro/internal/keccak"
+	"repro/internal/rlp"
+	"repro/internal/secp256k1"
+	"repro/internal/types"
+)
+
+// Transaction is a signed state transition: a method call on a contract (or
+// a plain value transfer when Method is empty). Tokens carry the SMACS
+// access tokens; on the wire they are appended to the calldata as the
+// trailing `bytes[]` argument the SMACS transformation adds (Fig. 4), so
+// they are covered by the transaction signature and priced as calldata, but
+// excluded from the msg.data that access tokens bind to.
+type Transaction struct {
+	// Nonce is the sender's account nonce (Ethereum's replay protection).
+	Nonce uint64
+	// To is the target account.
+	To types.Address
+	// Value is the ether (wei) transferred with the call.
+	Value *big.Int
+	// GasLimit caps execution gas.
+	GasLimit uint64
+	// GasPrice is the price per gas unit in wei.
+	GasPrice *big.Int
+	// Method and Args describe the call; Args must be ABI-encodable.
+	Method string
+	Args   []any
+	// Tokens is the SMACS token array (one entry per SMACS-enabled
+	// contract in the triggered call chain, § IV-D).
+	Tokens [][]byte
+	// Sig is the sender's secp256k1 signature over SigHash.
+	Sig secp256k1.Signature
+}
+
+// Transaction validation errors.
+var (
+	ErrNonceTooLow      = errors.New("evm: nonce too low (transaction already processed)")
+	ErrNonceTooHigh     = errors.New("evm: nonce too high")
+	ErrInsufficientETH  = errors.New("evm: insufficient balance for gas and value")
+	ErrBadTxSignature   = errors.New("evm: invalid transaction signature")
+	ErrContractNotFound = errors.New("evm: no contract at target address")
+	ErrIntrinsicGas     = errors.New("evm: gas limit below intrinsic cost")
+)
+
+// AppData returns the application calldata: selector ‖ encoded args,
+// excluding the token array. This is the msg.data that argument tokens bind
+// to (see DESIGN.md, "calldata binding note").
+func (tx *Transaction) AppData() ([]byte, error) {
+	if tx.Method == "" {
+		return nil, nil
+	}
+	return abi.Pack(tx.Method, tx.Args...)
+}
+
+// WireData returns the full calldata as priced and signed: the application
+// calldata followed by the ABI-encoded token array (when present).
+func (tx *Transaction) WireData() ([]byte, error) {
+	data, err := tx.AppData()
+	if err != nil {
+		return nil, err
+	}
+	if len(tx.Tokens) == 0 {
+		return data, nil
+	}
+	blob, err := abi.Encode(tx.Tokens)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, blob...), nil
+}
+
+// SigHash computes the digest the sender signs: an EIP-155-style RLP of the
+// transaction fields plus the chain id.
+func (tx *Transaction) SigHash(chainID uint64) (types.Hash, error) {
+	data, err := tx.WireData()
+	if err != nil {
+		return types.Hash{}, err
+	}
+	enc, err := rlp.EncodeList(
+		tx.Nonce,
+		tx.GasPrice,
+		tx.GasLimit,
+		tx.To.Bytes(),
+		tx.Value,
+		data,
+		chainID,
+		uint64(0),
+		uint64(0),
+	)
+	if err != nil {
+		return types.Hash{}, fmt.Errorf("tx sighash: %w", err)
+	}
+	return types.Hash(keccak.Sum256(enc)), nil
+}
+
+// Hash computes the transaction hash (over the signed payload).
+func (tx *Transaction) Hash(chainID uint64) (types.Hash, error) {
+	data, err := tx.WireData()
+	if err != nil {
+		return types.Hash{}, err
+	}
+	enc, err := rlp.EncodeList(
+		tx.Nonce,
+		tx.GasPrice,
+		tx.GasLimit,
+		tx.To.Bytes(),
+		tx.Value,
+		data,
+		tx.Sig.Bytes(),
+		chainID,
+	)
+	if err != nil {
+		return types.Hash{}, fmt.Errorf("tx hash: %w", err)
+	}
+	return types.Hash(keccak.Sum256(enc)), nil
+}
+
+// SignTx signs the transaction in place with the given key.
+func SignTx(tx *Transaction, key *secp256k1.PrivateKey, chainID uint64) error {
+	digest, err := tx.SigHash(chainID)
+	if err != nil {
+		return err
+	}
+	sig, err := secp256k1.Sign(key, [32]byte(digest))
+	if err != nil {
+		return fmt.Errorf("sign tx: %w", err)
+	}
+	tx.Sig = sig
+	return nil
+}
+
+// Sender recovers the transaction originator from the signature.
+func (tx *Transaction) Sender(chainID uint64) (types.Address, error) {
+	digest, err := tx.SigHash(chainID)
+	if err != nil {
+		return types.Address{}, err
+	}
+	if tx.Sig.R == nil || tx.Sig.S == nil {
+		return types.Address{}, ErrBadTxSignature
+	}
+	addr, err := secp256k1.RecoverAddress([32]byte(digest), tx.Sig)
+	if err != nil {
+		return types.Address{}, fmt.Errorf("%w: %v", ErrBadTxSignature, err)
+	}
+	return addr, nil
+}

@@ -1,0 +1,109 @@
+// Package evmtest provides shared helpers for tests that need a funded
+// simulated chain: deterministic accounts, a controllable clock, and
+// fail-fast deploy/apply wrappers.
+package evmtest
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/evm"
+	"repro/internal/secp256k1"
+	"repro/internal/types"
+	"repro/internal/wallet"
+)
+
+// Ether returns n ether in wei.
+func Ether(n int64) *big.Int {
+	return new(big.Int).Mul(big.NewInt(n), big.NewInt(1e18))
+}
+
+// Clock is a manually advanced clock for deterministic expiry tests.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock starts a clock at a fixed instant.
+func NewClock() *Clock {
+	return &Clock{now: time.Date(2020, 3, 17, 12, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current fake time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Env is a ready-to-use test environment: a chain with a fake clock and
+// funded deterministic wallets.
+type Env struct {
+	Chain   *evm.Chain
+	Clock   *Clock
+	Wallets []*wallet.Wallet
+}
+
+// NewEnv creates a chain with nWallets funded accounts (1000 ether each).
+func NewEnv(t *testing.T, nWallets int) *Env {
+	t.Helper()
+	clock := NewClock()
+	cfg := evm.DefaultConfig()
+	cfg.Now = clock.Now
+	chain := evm.NewChain(cfg)
+	env := &Env{Chain: chain, Clock: clock}
+	for i := 0; i < nWallets; i++ {
+		key := secp256k1.PrivateKeyFromSeed([]byte{byte('w'), byte(i)})
+		w := wallet.New(key, chain)
+		chain.Fund(w.Address(), Ether(1000))
+		env.Wallets = append(env.Wallets, w)
+	}
+	return env
+}
+
+// Deploy registers a contract from the first wallet's account, failing the
+// test on error.
+func (e *Env) Deploy(t *testing.T, c *evm.Contract) types.Address {
+	t.Helper()
+	addr, _, err := e.Chain.Deploy(e.Wallets[0].Address(), c)
+	if err != nil {
+		t.Fatalf("deploy %s: %v", c.Name(), err)
+	}
+	return addr
+}
+
+// MustCall submits a call from wallet i and fails the test if the
+// transaction is rejected or reverts.
+func (e *Env) MustCall(t *testing.T, i int, to types.Address, method string, opts wallet.CallOpts, args ...any) *evm.Receipt {
+	t.Helper()
+	r, err := e.Wallets[i].Call(to, method, opts, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", method, err)
+	}
+	if !r.Status {
+		t.Fatalf("call %s reverted: %v", method, r.Err)
+	}
+	return r
+}
+
+// CallExpectRevert submits a call and fails the test unless it reverts.
+func (e *Env) CallExpectRevert(t *testing.T, i int, to types.Address, method string, opts wallet.CallOpts, args ...any) *evm.Receipt {
+	t.Helper()
+	r, err := e.Wallets[i].Call(to, method, opts, args...)
+	if err != nil {
+		t.Fatalf("call %s rejected before execution: %v", method, err)
+	}
+	if r.Status {
+		t.Fatalf("call %s succeeded, expected revert", method)
+	}
+	return r
+}

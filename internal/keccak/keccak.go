@@ -1,0 +1,161 @@
+// Package keccak implements the legacy Keccak-256 hash function as used by
+// Ethereum. It predates the FIPS-202 SHA3 standard and uses the original
+// Keccak padding (domain-separation byte 0x01) rather than SHA3's 0x06, so
+// its digests match Ethereum's KECCAK256 opcode, method-selector derivation,
+// and address derivation.
+package keccak
+
+import "math/bits"
+
+const (
+	// rate is the sponge rate in bytes for a 256-bit capacity (1088 bits).
+	rate = 136
+	// Size is the digest size in bytes.
+	Size = 32
+)
+
+// roundConstants are the iota-step constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
+	0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
+	0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotations[x][y] is the rho-step rotation for lane (x, y).
+var rotations = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// keccakF1600 applies the 24-round Keccak-f[1600] permutation in place.
+// Lanes are indexed a[x+5*y].
+func keccakF1600(a *[25]uint64) {
+	var c, d [5]uint64
+	var b [25]uint64
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+		}
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// Rho and pi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(a[x+5*y], int(rotations[x][y]))
+			}
+		}
+		// Chi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// Iota.
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// Hasher is an incremental Keccak-256 hasher. The zero value is ready to
+// use. It implements the write/sum subset of hash.Hash that the rest of the
+// repository needs.
+type Hasher struct {
+	state [25]uint64
+	buf   [rate]byte
+	n     int
+}
+
+// New returns a new Keccak-256 hasher.
+func New() *Hasher { return &Hasher{} }
+
+// Reset restores the hasher to its initial state.
+func (h *Hasher) Reset() {
+	h.state = [25]uint64{}
+	h.n = 0
+}
+
+// Write absorbs p into the sponge. It never returns an error.
+func (h *Hasher) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		n := copy(h.buf[h.n:], p)
+		h.n += n
+		p = p[n:]
+		if h.n == rate {
+			h.absorb()
+		}
+	}
+	return total, nil
+}
+
+func (h *Hasher) absorb() {
+	for i := 0; i < rate/8; i++ {
+		h.state[i] ^= le64(h.buf[8*i:])
+	}
+	keccakF1600(&h.state)
+	h.n = 0
+}
+
+// Sum256 finalizes the hash and returns the 32-byte digest. The hasher must
+// not be written to afterwards (call Reset to reuse it).
+func (h *Hasher) Sum256() [Size]byte {
+	// Legacy Keccak padding: 0x01 ... 0x80 within the rate block.
+	for i := h.n; i < rate; i++ {
+		h.buf[i] = 0
+	}
+	h.buf[h.n] = 0x01
+	h.buf[rate-1] |= 0x80
+	h.n = rate
+	h.absorb()
+
+	var out [Size]byte
+	for i := 0; i < Size/8; i++ {
+		putLE64(out[8*i:], h.state[i])
+	}
+	return out
+}
+
+// Sum256 returns the Keccak-256 digest of data.
+func Sum256(data []byte) [Size]byte {
+	var h Hasher
+	h.Write(data) //nolint:errcheck // never fails
+	return h.Sum256()
+}
+
+// Sum256Concat returns the Keccak-256 digest of the concatenation of the
+// given byte slices without materializing the concatenation.
+func Sum256Concat(parts ...[]byte) [Size]byte {
+	var h Hasher
+	for _, p := range parts {
+		h.Write(p) //nolint:errcheck // never fails
+	}
+	return h.Sum256()
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

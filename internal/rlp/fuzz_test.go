@@ -1,0 +1,57 @@
+package rlp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics feeds random bytes to the RLP decoder; transaction
+// deserialization must fail cleanly on garbage.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %x: %v", data, r)
+			}
+		}()
+		v, err := Decode(data)
+		if err == nil {
+			// Whatever decoded must re-encode without issue.
+			reencode(t, v)
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func reencode(t *testing.T, v Value) {
+	t.Helper()
+	if !v.IsList {
+		AppendBytes(nil, v.Bytes)
+		return
+	}
+	for _, el := range v.List {
+		reencode(t, el)
+	}
+}
+
+// TestDecodeDepthBomb guards against stack exhaustion from deeply nested
+// lists.
+func TestDecodeDepthBomb(t *testing.T) {
+	// 10k nested single-element lists: c1 c1 c1 ... 80
+	depth := 10000
+	data := make([]byte, depth+1)
+	for i := 0; i < depth; i++ {
+		data[i] = 0xc1
+	}
+	data[depth] = 0x80
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("depth bomb caused panic: %v", r)
+		}
+	}()
+	_, _ = Decode(data)
+}

@@ -1,0 +1,199 @@
+package rlp
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+func TestEncodeKnownVectors(t *testing.T) {
+	tests := []struct {
+		name string
+		got  []byte
+		want string
+	}{
+		{"dog", AppendString(nil, "dog"), "83646f67"},
+		{"empty string", AppendString(nil, ""), "80"},
+		{"single low byte", AppendBytes(nil, []byte{0x0f}), "0f"},
+		{"single boundary byte", AppendBytes(nil, []byte{0x80}), "8180"},
+		{"zero", AppendUint(nil, 0), "80"},
+		{"fifteen", AppendUint(nil, 15), "0f"},
+		{"1024", AppendUint(nil, 1024), "820400"},
+		{
+			"56-char string",
+			AppendString(nil, "Lorem ipsum dolor sit amet, consectetur adipisicing elit"),
+			"b8384c6f72656d20697073756d20646f6c6f722073697420616d65742c20636f6e7365637465747572206164697069736963696e6720656c6974",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !bytes.Equal(tt.got, mustHex(t, tt.want)) {
+				t.Errorf("got %x, want %s", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEncodeListVectors(t *testing.T) {
+	catDog, err := EncodeList("cat", "dog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "c88363617483646f67"); !bytes.Equal(catDog, want) {
+		t.Errorf("[cat dog] = %x, want %x", catDog, want)
+	}
+
+	empty, err := EncodeList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "c0"); !bytes.Equal(empty, want) {
+		t.Errorf("[] = %x, want %x", empty, want)
+	}
+
+	// The "set theoretical representation of three": [ [], [[]], [ [], [[]] ] ]
+	nested, err := EncodeList([]any{}, []any{[]any{}}, []any{[]any{}, []any{[]any{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "c7c0c1c0c3c0c1c0"); !bytes.Equal(nested, want) {
+		t.Errorf("nested = %x, want %x", nested, want)
+	}
+}
+
+func TestEncodeBigInt(t *testing.T) {
+	got, err := AppendBigInt(nil, big.NewInt(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "820400"); !bytes.Equal(got, want) {
+		t.Errorf("big 1024 = %x, want %x", got, want)
+	}
+
+	if _, err := AppendBigInt(nil, big.NewInt(-1)); err == nil {
+		t.Error("expected error for negative big.Int")
+	}
+
+	nilEnc, err := AppendBigInt(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := mustHex(t, "80"); !bytes.Equal(nilEnc, want) {
+		t.Errorf("nil big = %x, want %x", nilEnc, want)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	enc, err := EncodeList("cat", uint64(1024), []any{"dog", []byte{0x01, 0x02}}, big.NewInt(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsList || len(v.List) != 4 {
+		t.Fatalf("decoded shape wrong: %+v", v)
+	}
+	if string(v.List[0].Bytes) != "cat" {
+		t.Errorf("item 0 = %q", v.List[0].Bytes)
+	}
+	u, err := v.List[1].Uint()
+	if err != nil || u != 1024 {
+		t.Errorf("item 1 = %d, %v", u, err)
+	}
+	if !v.List[2].IsList || len(v.List[2].List) != 2 {
+		t.Errorf("item 2 shape wrong: %+v", v.List[2])
+	}
+	bi, err := v.List[3].BigInt()
+	if err != nil || bi.Cmp(big.NewInt(1<<40)) != 0 {
+		t.Errorf("item 3 = %v, %v", bi, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"empty input", "", ErrTruncated},
+		{"truncated string", "83646f", ErrTruncated},
+		{"truncated list", "c883636174", ErrTruncated},
+		{"trailing bytes", "83646f6700", ErrTrailingBytes},
+		{"non-canonical single byte", "810f", ErrNonCanonical},
+		{"non-canonical long form", "b801ff", ErrNonCanonical},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Decode(mustHex(t, strings.ReplaceAll(tt.in, " ", "")))
+			if !errors.Is(err, tt.want) {
+				t.Errorf("Decode(%s) err = %v, want %v", tt.in, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestUintNonCanonical(t *testing.T) {
+	v := Value{Bytes: []byte{0x00, 0x01}}
+	if _, err := v.Uint(); !errors.Is(err, ErrNonCanonical) {
+		t.Errorf("leading-zero integer accepted: %v", err)
+	}
+}
+
+func TestQuickRoundTripBytes(t *testing.T) {
+	f := func(b []byte) bool {
+		enc := AppendBytes(nil, b)
+		v, err := Decode(enc)
+		return err == nil && !v.IsList && bytes.Equal(v.Bytes, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripUint(t *testing.T) {
+	f := func(u uint64) bool {
+		v, err := Decode(AppendUint(nil, u))
+		if err != nil {
+			return false
+		}
+		got, err := v.Uint()
+		return err == nil && got == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickListRoundTrip(t *testing.T) {
+	f := func(a []byte, b uint64, c string) bool {
+		enc, err := EncodeList(a, b, c)
+		if err != nil {
+			return false
+		}
+		v, err := Decode(enc)
+		if err != nil || !v.IsList || len(v.List) != 3 {
+			return false
+		}
+		u, err := v.List[1].Uint()
+		return bytes.Equal(v.List[0].Bytes, a) && err == nil && u == b &&
+			string(v.List[2].Bytes) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

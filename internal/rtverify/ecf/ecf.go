@@ -1,0 +1,148 @@
+// Package ecf implements a dynamic effectively-callback-free (ECF) checker
+// in the spirit of ECFChecker (§ V-B): the Token Service simulates a
+// requested call on a local testnet mirror of the protected contract and
+// rejects the request when the execution re-enters the contract through a
+// callback and the re-entered frame's storage accesses conflict with writes
+// the outer frame performs afterwards — the signature of the TheDAO-style
+// re-entrancy exploit of Fig. 7.
+//
+// Because the attack only manifests when the protected contract is called
+// *through* an attacker-controlled contract, the checker simulates the
+// requested call both directly from the requesting account and from every
+// contract that account has deployed (public on-chain information the TS
+// mirrors onto its testnet).
+package ecf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/types"
+)
+
+// ErrNotECF is returned when the simulated execution exhibits a
+// re-entrancy conflict.
+var ErrNotECF = errors.New("ecf: execution is not effectively callback-free")
+
+// Checker simulates calls against a testnet mirror. It satisfies
+// ts.Validator.
+type Checker struct {
+	chain  *evm.Chain
+	target types.Address
+}
+
+// New creates a checker for the protected contract deployed at target on
+// the given mirror testnet. The mirror should hold the *legacy*
+// (pre-SMACS) contract plus whatever public state is needed to make
+// simulations meaningful (the § V-B setup: "the TS deploys ... an
+// off-chain testnet with the Bank contract deployed").
+func New(chain *evm.Chain, target types.Address) *Checker {
+	return &Checker{chain: chain, target: target}
+}
+
+// Name implements ts.Validator.
+func (c *Checker) Name() string { return "ecfchecker" }
+
+// Chain exposes the mirror testnet so owners can replay public state onto
+// it (deposits, attacker contracts, etc.).
+func (c *Checker) Chain() *evm.Chain { return c.chain }
+
+// Validate simulates the requested call from the sender and from each
+// contract the sender has deployed on the mirror, and analyzes the traces
+// for ECF violations.
+func (c *Checker) Validate(req *core.Request) error {
+	callers := append([]types.Address{req.Sender}, c.chain.DeployedBy(req.Sender)...)
+	for _, from := range callers {
+		entry, method, args := c.entryPoint(from, req)
+		_, receipt, err := c.chain.StaticCall(from, entry, method, args, nil)
+		if err != nil {
+			// A failing simulation is not an ECF violation by itself;
+			// only analyze traces of runs that made progress.
+			if receipt == nil || receipt.Trace == nil {
+				continue
+			}
+		}
+		if receipt != nil && receipt.Trace != nil {
+			if err := analyze(receipt.Trace, c.target); err != nil {
+				return fmt.Errorf("simulating as %s: %w", from, err)
+			}
+		}
+	}
+	return nil
+}
+
+// entryPoint picks what to call in the simulation: the protected contract
+// directly for the EOA, or the deployed contract's same-named method when
+// the caller is one of the sender's contracts (modelling the sender routing
+// the call through its own contract, as the Fig. 7 attacker does).
+func (c *Checker) entryPoint(from types.Address, req *core.Request) (types.Address, string, []any) {
+	if from == req.Sender {
+		return req.Contract, req.Method, req.ArgValues()
+	}
+	if contract, ok := c.chain.ContractAt(from); ok {
+		if _, has := contract.Method(req.Method); has {
+			// Simulate the EOA calling its contract's wrapper method,
+			// which will message the protected contract.
+			return from, req.Method, nil
+		}
+	}
+	return req.Contract, req.Method, req.ArgValues()
+}
+
+// frame tracks one open call frame on the protected contract during trace
+// analysis.
+type frame struct {
+	depth     int
+	accessed  map[types.Hash]bool // slots the frame read or wrote
+	reentered bool
+}
+
+// analyze walks the execution trace and reports a violation when an outer
+// frame of the target writes a storage slot after a re-entered inner frame
+// of the target accessed it (no callback-free serialization can produce
+// that interleaving).
+func analyze(tr *evm.Trace, target types.Address) error {
+	var stack []*frame
+	inner := make(map[types.Hash]bool) // slots accessed by completed re-entered frames
+
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case evm.TraceCall:
+			if e.To != target {
+				continue
+			}
+			f := &frame{depth: e.Depth, accessed: make(map[types.Hash]bool)}
+			if len(stack) > 0 {
+				f.reentered = true
+				stack[len(stack)-1].reentered = true
+			}
+			stack = append(stack, f)
+		case evm.TraceReturn:
+			if e.From != target || len(stack) == 0 {
+				continue
+			}
+			top := stack[len(stack)-1]
+			if top.depth == e.Depth {
+				stack = stack[:len(stack)-1]
+				if top.reentered && len(stack) > 0 {
+					for slot := range top.accessed {
+						inner[slot] = true
+					}
+				}
+			}
+		case evm.TraceSLoad, evm.TraceSStore:
+			if e.From != target || len(stack) == 0 {
+				continue
+			}
+			top := stack[len(stack)-1]
+			top.accessed[e.Slot] = true
+			if e.Kind == evm.TraceSStore && len(stack) == 1 && inner[e.Slot] {
+				return fmt.Errorf("%w: outer frame writes slot %s after a re-entered frame accessed it",
+					ErrNotECF, e.Slot.Hex()[:10])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package ecf_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/evmtest"
+	"repro/internal/rtverify/ecf"
+	"repro/internal/types"
+	"repro/internal/wallet"
+)
+
+// mirror builds the TS-side testnet of § V-B: the legacy (unprotected)
+// bank with a victim deposit, plus — mirroring public chain data — the
+// attacker's contract and its deposit.
+func mirror(t *testing.T, buildBank func() interface{ Name() string }, safe bool) (env *evmtest.Env, bankAddr types.Address, attackerEOA types.Address) {
+	t.Helper()
+	env = evmtest.NewEnv(t, 3)
+	victim, attacker := 1, 2
+
+	bank := contracts.NewBank()
+	if safe {
+		bank = contracts.NewSafeBank()
+	}
+	bankAddr = env.Deploy(t, bank)
+	attackerAddr, _, err := env.Chain.Deploy(env.Wallets[attacker].Address(),
+		contracts.NewAttacker(bankAddr, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.MustCall(t, victim, bankAddr, "addBalance", wallet.CallOpts{Value: evmtest.Ether(10)})
+	env.MustCall(t, attacker, attackerAddr, "deposit", wallet.CallOpts{Value: evmtest.Ether(2)})
+	return env, bankAddr, env.Wallets[attacker].Address()
+}
+
+func withdrawRequest(bank, sender types.Address) *core.Request {
+	return &core.Request{
+		Type:     core.ArgumentType,
+		Contract: bank,
+		Sender:   sender,
+		Method:   "withdraw",
+	}
+}
+
+func TestDetectsFig7Reentrancy(t *testing.T) {
+	env, bankAddr, attackerEOA := mirror(t, nil, false)
+	checker := ecf.New(env.Chain, bankAddr)
+
+	if checker.Name() != "ecfchecker" {
+		t.Errorf("Name = %q", checker.Name())
+	}
+	err := checker.Validate(withdrawRequest(bankAddr, attackerEOA))
+	if !errors.Is(err, ecf.ErrNotECF) {
+		t.Errorf("attack request err = %v, want ErrNotECF", err)
+	}
+}
+
+func TestInnocentClientApproved(t *testing.T) {
+	env, bankAddr, _ := mirror(t, nil, false)
+	checker := ecf.New(env.Chain, bankAddr)
+
+	// The victim's own withdraw is callback-free and must pass, so the
+	// vulnerable contract keeps serving innocent users (§ VIII).
+	victimEOA := env.Wallets[1].Address()
+	if err := checker.Validate(withdrawRequest(bankAddr, victimEOA)); err != nil {
+		t.Errorf("innocent withdraw rejected: %v", err)
+	}
+}
+
+func TestSafeBankPassesEvenForAttacker(t *testing.T) {
+	env, bankAddr, attackerEOA := mirror(t, nil, true)
+	checker := ecf.New(env.Chain, bankAddr)
+
+	if err := checker.Validate(withdrawRequest(bankAddr, attackerEOA)); err != nil {
+		t.Errorf("checks-effects-interactions bank flagged: %v", err)
+	}
+}
+
+func TestDepositRequestsApproved(t *testing.T) {
+	env, bankAddr, attackerEOA := mirror(t, nil, false)
+	checker := ecf.New(env.Chain, bankAddr)
+
+	req := &core.Request{
+		Type:     core.ArgumentType,
+		Contract: bankAddr,
+		Sender:   attackerEOA,
+		Method:   "addBalance",
+	}
+	if err := checker.Validate(req); err != nil {
+		t.Errorf("deposit request rejected: %v", err)
+	}
+}
+
+func TestSimulationLeavesStateUntouched(t *testing.T) {
+	env, bankAddr, attackerEOA := mirror(t, nil, false)
+	checker := ecf.New(env.Chain, bankAddr)
+	before := env.Chain.Balance(bankAddr)
+
+	_ = checker.Validate(withdrawRequest(bankAddr, attackerEOA))
+	_ = checker.Validate(withdrawRequest(bankAddr, attackerEOA))
+
+	if after := env.Chain.Balance(bankAddr); after.Cmp(before) != 0 {
+		t.Errorf("simulation mutated the mirror: %s -> %s", before, after)
+	}
+}

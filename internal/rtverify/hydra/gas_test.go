@@ -1,0 +1,82 @@
+package hydra
+
+import (
+	"testing"
+
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func TestHeadsWithDifferentGasButSameOutputAgree(t *testing.T) {
+	// The uniformity rule compares *outputs*, not resource usage: the
+	// formula head and the loop head burn very different amounts of gas
+	// for sumTo(5000), yet must be judged uniform (the paper's heads are
+	// different languages with different costs by construction).
+	tool, err := New(
+		Head{Name: "formula", Build: contracts.NewCalculatorFormula},
+		Head{Name: "loop", Build: contracts.NewCalculatorLoop},
+		Head{Name: "pairwise", Build: contracts.NewCalculatorPairwise},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &core.Request{
+		Type:     core.ArgumentType,
+		Contract: types.Address{0x01},
+		Sender:   types.Address{0xc1},
+		Method:   "sumTo",
+		Args:     []core.NamedArg{{Name: "n", Value: uint64(5000)}},
+	}
+	if err := tool.Validate(req); err != nil {
+		t.Errorf("gas-divergent but output-uniform heads rejected: %v", err)
+	}
+}
+
+func TestCalculatorHeadsMatchSpecification(t *testing.T) {
+	// Cross-check all three production heads against the closed form over
+	// a range of inputs — the N-version premise is that independent
+	// implementations agree.
+	tool, err := New(
+		Head{Name: "formula", Build: contracts.NewCalculatorFormula},
+		Head{Name: "loop", Build: contracts.NewCalculatorLoop},
+		Head{Name: "pairwise", Build: contracts.NewCalculatorPairwise},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := uint64(0); n <= 50; n++ {
+		req := &core.Request{
+			Type:     core.ArgumentType,
+			Contract: types.Address{0x01},
+			Sender:   types.Address{0xc1},
+			Method:   "sumTo",
+			Args:     []core.NamedArg{{Name: "n", Value: n}},
+		}
+		if err := tool.Validate(req); err != nil {
+			t.Fatalf("heads diverge at n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestOverflowGuardUniformAcrossHeads(t *testing.T) {
+	// All heads reject oversized inputs identically — uniform *failure* is
+	// also uniformity.
+	tool, err := New(
+		Head{Name: "formula", Build: contracts.NewCalculatorFormula},
+		Head{Name: "loop", Build: contracts.NewCalculatorLoop},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &core.Request{
+		Type:     core.ArgumentType,
+		Contract: types.Address{0x01},
+		Sender:   types.Address{0xc1},
+		Method:   "double",
+		Args:     []core.NamedArg{{Name: "n", Value: uint64(1 << 40)}},
+	}
+	if err := tool.Validate(req); err != nil {
+		t.Errorf("uniform rejection treated as divergence: %v", err)
+	}
+}

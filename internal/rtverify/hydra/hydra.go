@@ -1,0 +1,116 @@
+// Package hydra implements the Hydra-uniformity rule of § V-A: N
+// independent implementations ("heads") of the same contract logic run on
+// private local testnets, and an argument token is issued only when all
+// heads produce identical outputs for the requested call. Divergence
+// indicates that the payload triggers an implementation bug, so the request
+// is rejected — the N-of-N-version-programming check of the Hydra framework
+// moved off-chain, where extra heads cost no gas.
+package hydra
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/types"
+)
+
+// Head is one independent implementation of the protected contract's
+// logic (in the original framework: the same program written in different
+// languages).
+type Head struct {
+	// Name identifies the head in divergence reports.
+	Name string
+	// Build constructs a fresh instance of the head's contract.
+	Build func() *evm.Contract
+}
+
+// ErrHeadsDiverge is returned when head outputs differ.
+var ErrHeadsDiverge = errors.New("hydra: head outputs diverge")
+
+// Tool runs the uniformity check. It satisfies ts.Validator.
+type Tool struct {
+	heads []headInstance
+}
+
+type headInstance struct {
+	name  string
+	chain *evm.Chain
+	addr  types.Address
+}
+
+// deployKey is the testnet account that owns the head deployments.
+var deployKey = types.Address{0x4d, 0xea, 0xd2}
+
+// New deploys each head on its own local testnet. At least two heads are
+// required for the check to be meaningful.
+func New(heads ...Head) (*Tool, error) {
+	if len(heads) < 2 {
+		return nil, fmt.Errorf("hydra: need at least 2 heads, got %d", len(heads))
+	}
+	t := &Tool{heads: make([]headInstance, 0, len(heads))}
+	for _, h := range heads {
+		chain := evm.NewChain(evm.DefaultConfig())
+		chain.Fund(deployKey, new(big.Int).Lsh(big.NewInt(1), 80))
+		addr, _, err := chain.Deploy(deployKey, h.Build())
+		if err != nil {
+			return nil, fmt.Errorf("hydra: deploy head %q: %w", h.Name, err)
+		}
+		t.heads = append(t.heads, headInstance{name: h.Name, chain: chain, addr: addr})
+	}
+	return t, nil
+}
+
+// Name implements ts.Validator.
+func (t *Tool) Name() string { return "hydra" }
+
+// Validate executes the requested call on every head's testnet and demands
+// identical outcomes (§ V-A's uniformity rule). Head state never changes:
+// the simulation uses read-only calls.
+func (t *Tool) Validate(req *core.Request) error {
+	type outcome struct {
+		ret []any
+		err string
+	}
+	var first outcome
+	for i, h := range t.heads {
+		ret, _, err := h.chain.StaticCall(req.Sender, h.addr, req.Method, req.ArgValues(), nil)
+		o := outcome{ret: ret}
+		if err != nil {
+			o = outcome{err: err.Error()}
+		}
+		if i == 0 {
+			first = o
+			continue
+		}
+		if o.err != first.err || !equalOutputs(o.ret, first.ret) {
+			return fmt.Errorf("%w: head %q returned (%v, %q), head %q returned (%v, %q)",
+				ErrHeadsDiverge, t.heads[0].name, first.ret, first.err, h.name, o.ret, o.err)
+		}
+	}
+	return nil
+}
+
+// equalOutputs compares return-value slices, normalizing big.Int values.
+func equalOutputs(a, b []any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		av, aBig := a[i].(*big.Int)
+		bv, bBig := b[i].(*big.Int)
+		if aBig && bBig {
+			if av.Cmp(bv) != 0 {
+				return false
+			}
+			continue
+		}
+		if !reflect.DeepEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

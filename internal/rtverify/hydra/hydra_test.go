@@ -1,0 +1,140 @@
+package hydra
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/gas"
+	"repro/internal/types"
+)
+
+// adderHead builds one "language implementation" of a doubling contract.
+// When buggyAt is nonzero, the head miscomputes for exactly that input —
+// the seeded divergence the uniformity rule must catch.
+func adderHead(buggyAt uint64) func() *evm.Contract {
+	return func() *evm.Contract {
+		c := evm.NewContract("Adder")
+		c.MustAddMethod(evm.Method{
+			Name:       "double",
+			Params:     []any{uint64(0)},
+			Visibility: evm.Public,
+			Handler: func(call *evm.Call) ([]any, error) {
+				n, _ := call.Arg(0).(uint64)
+				if buggyAt != 0 && n == buggyAt {
+					return []any{n*2 + 1}, nil // the bug
+				}
+				return []any{n * 2}, nil
+			},
+		})
+		c.MustAddMethod(evm.Method{
+			Name:       "store",
+			Params:     []any{uint64(0)},
+			Visibility: evm.Public,
+			Handler: func(call *evm.Call) ([]any, error) {
+				n, _ := call.Arg(0).(uint64)
+				return nil, call.StoreUint(gas.CatApp, evm.SlotN(0), n)
+			},
+		})
+		return c
+	}
+}
+
+func request(method string, n uint64) *core.Request {
+	return &core.Request{
+		Type:     core.ArgumentType,
+		Contract: types.Address{0x01},
+		Sender:   types.Address{0xc1},
+		Method:   method,
+		Args:     []core.NamedArg{{Name: "n", Value: n}},
+	}
+}
+
+func TestNewRequiresTwoHeads(t *testing.T) {
+	if _, err := New(Head{Name: "solo", Build: adderHead(0)}); err == nil {
+		t.Error("single-head tool accepted")
+	}
+}
+
+func TestUniformHeadsApprove(t *testing.T) {
+	tool, err := New(
+		Head{Name: "solidity", Build: adderHead(0)},
+		Head{Name: "vyper", Build: adderHead(0)},
+		Head{Name: "serpent", Build: adderHead(0)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.Name() != "hydra" {
+		t.Errorf("Name = %q", tool.Name())
+	}
+	for _, n := range []uint64{0, 1, 7, 1000} {
+		if err := tool.Validate(request("double", n)); err != nil {
+			t.Errorf("uniform heads diverged on %d: %v", n, err)
+		}
+	}
+}
+
+func TestDivergentHeadRejectsOnlyTriggeringInput(t *testing.T) {
+	tool, err := New(
+		Head{Name: "solidity", Build: adderHead(0)},
+		Head{Name: "vyper", Build: adderHead(13)}, // bug at 13
+		Head{Name: "serpent", Build: adderHead(0)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Innocent payloads pass — the vulnerable contract "keeps operating
+	// for innocent transactions" (§ VIII).
+	if err := tool.Validate(request("double", 12)); err != nil {
+		t.Errorf("innocent input rejected: %v", err)
+	}
+	// The triggering payload is rejected.
+	if err := tool.Validate(request("double", 13)); !errors.Is(err, ErrHeadsDiverge) {
+		t.Errorf("err = %v, want ErrHeadsDiverge", err)
+	}
+}
+
+func TestHeadStateIsolation(t *testing.T) {
+	// Simulations are read-only: validating a state-writing call twice
+	// must not accumulate state on the heads' testnets.
+	tool, err := New(
+		Head{Name: "a", Build: adderHead(0)},
+		Head{Name: "b", Build: adderHead(0)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := tool.Validate(request("store", 5)); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestDivergentRevertBehavior(t *testing.T) {
+	// A head that reverts where others succeed is also a divergence.
+	failing := func() *evm.Contract {
+		c := evm.NewContract("Adder")
+		c.MustAddMethod(evm.Method{
+			Name:       "double",
+			Params:     []any{uint64(0)},
+			Visibility: evm.Public,
+			Handler: func(call *evm.Call) ([]any, error) {
+				return nil, errors.New("head panics")
+			},
+		})
+		return c
+	}
+	tool, err := New(
+		Head{Name: "good", Build: adderHead(0)},
+		Head{Name: "crashy", Build: failing},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tool.Validate(request("double", 1)); !errors.Is(err, ErrHeadsDiverge) {
+		t.Errorf("err = %v, want ErrHeadsDiverge", err)
+	}
+}

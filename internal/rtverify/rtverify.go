@@ -1,0 +1,12 @@
+// Package rtverify defines the runtime-verification tool abstraction of
+// § V: third-party analysis tools that a Token Service plugs into its
+// validation module to enforce advanced Access Control Rules on argument
+// tokens. Concrete tools live in the hydra (N-version uniformity, § V-A)
+// and ecf (effectively-callback-free checking, § V-B) subpackages; both
+// satisfy ts.Validator.
+package rtverify
+
+import "errors"
+
+// ErrRejected is the sentinel wrapped by every tool veto.
+var ErrRejected = errors.New("rtverify: request rejected")

@@ -1,0 +1,98 @@
+package transform_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/evmtest"
+	"repro/internal/gas"
+	"repro/internal/transform"
+	"repro/internal/wallet"
+)
+
+// newFig4Contract mirrors the legacy contract of Fig. 4: external f() calls
+// public h() internally; h() writes state.
+func newFig4Contract() *evm.Contract {
+	c := evm.NewContract("Fig4")
+	c.MustAddMethod(evm.Method{
+		Name:       "f",
+		Visibility: evm.External,
+		Handler: func(call *evm.Call) ([]any, error) {
+			// call h() — an *internal* call in Fig. 4's legacy contract.
+			return call.Invoke("h")
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "h",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			v, err := call.LoadUint(gas.CatApp, evm.SlotN(0))
+			if err != nil {
+				return nil, err
+			}
+			return []any{v + 1}, call.StoreUint(gas.CatApp, evm.SlotN(0), v+1)
+		},
+	})
+	return c
+}
+
+// TestFig4InternalCallSplit verifies the exact semantics of the Fig. 4
+// transformation: the public/external entry points verify a token, but
+// internal calls between them reach the original bodies — one method token
+// for f() suffices even though f() uses h() internally, and the token
+// bound to f cannot be used to call h directly.
+func TestFig4InternalCallSplit(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	verifier := core.NewVerifier(tsKey.Address())
+	enabled := transform.Enable(newFig4Contract(), verifier)
+	addr := env.Deploy(t, enabled)
+	client := env.Wallets[1]
+
+	issueMethodToken := func(method string) wallet.CallOpts {
+		req := &core.Request{
+			Type:     core.MethodType,
+			Contract: addr,
+			Sender:   client.Address(),
+			Method:   method + "()",
+		}
+		binding, err := req.Binding()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk, err := core.SignToken(tsKey, core.MethodType,
+			env.Clock.Now().Add(time.Hour), core.NotOneTime, binding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wallet.WithTokens(wallet.TokenEntry{Contract: addr, Token: tk})
+	}
+
+	// A token for f authorizes f — including its internal use of h. Were
+	// the internal call re-verified, the f-bound method token would fail
+	// against h's msg.sig.
+	fOpts := issueMethodToken("f")
+	r := env.MustCall(t, 1, addr, "f", fOpts)
+	if got := r.Return[0].(uint64); got != 1 {
+		t.Errorf("f() returned %d, want 1", got)
+	}
+	// Exactly one verification ran (one token, ~108-116k verify gas).
+	if v := r.GasByCategory[gas.CatVerify]; v > 120_000 {
+		t.Errorf("verify gas = %d: the internal h() call was re-verified", v)
+	}
+
+	// The f token does not open h externally.
+	rr := env.CallExpectRevert(t, 1, addr, "h", fOpts)
+	if !errors.Is(rr.Err, core.ErrBadTokenSig) {
+		t.Errorf("h with f's token: %v, want ErrBadTokenSig", rr.Err)
+	}
+	// And h remains protected on its own: no token, no entry.
+	rr = env.CallExpectRevert(t, 1, addr, "h", wallet.CallOpts{})
+	if !errors.Is(rr.Err, core.ErrNoToken) {
+		t.Errorf("bare h: %v, want ErrNoToken", rr.Err)
+	}
+	// With its own token, h works externally.
+	env.MustCall(t, 1, addr, "h", issueMethodToken("h"))
+}

@@ -1,0 +1,105 @@
+package transform_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/evmtest"
+	"repro/internal/secp256k1"
+	"repro/internal/transform"
+	"repro/internal/wallet"
+)
+
+var tsKey = secp256k1.PrivateKeyFromSeed([]byte("transform ts"))
+
+func TestEnableProtectsAllDispatchableMethods(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	verifier := core.NewVerifier(tsKey.Address())
+	enabled := transform.Enable(contracts.NewSimpleStorage(), verifier)
+	addr := env.Deploy(t, enabled)
+
+	// Without a token every method reverts.
+	for _, method := range []string{"set", "get"} {
+		args := []any{}
+		if method == "set" {
+			args = append(args, uint64(1))
+		}
+		r := env.CallExpectRevert(t, 1, addr, method, wallet.CallOpts{}, args...)
+		if !errors.Is(r.Err, core.ErrNoToken) {
+			t.Errorf("%s err = %v, want ErrNoToken", method, r.Err)
+		}
+	}
+
+	// With a super token the contract behaves like the legacy one (Fig. 4
+	// equivalence).
+	tk, err := core.SignToken(tsKey, core.SuperType, env.Clock.Now().Add(time.Hour),
+		core.NotOneTime, core.Binding{Origin: env.Wallets[1].Address(), Contract: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wallet.WithTokens(wallet.TokenEntry{Contract: addr, Token: tk})
+	env.MustCall(t, 1, addr, "set", opts, uint64(77))
+	r := env.MustCall(t, 1, addr, "get", opts)
+	if v := r.Return[0].(uint64); v != 77 {
+		t.Errorf("get = %d, want 77", v)
+	}
+}
+
+func TestEnableSkipOption(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	verifier := core.NewVerifier(tsKey.Address())
+	enabled := transform.Enable(contracts.NewSimpleStorage(), verifier,
+		transform.Options{Skip: []string{"get"}})
+	addr := env.Deploy(t, enabled)
+
+	// get is deliberately left open; set is protected.
+	env.MustCall(t, 1, addr, "get", wallet.CallOpts{})
+	r := env.CallExpectRevert(t, 1, addr, "set", wallet.CallOpts{}, uint64(1))
+	if !errors.Is(r.Err, core.ErrNoToken) {
+		t.Errorf("set err = %v, want ErrNoToken", r.Err)
+	}
+}
+
+func TestEnableNamesAndBitmapStorage(t *testing.T) {
+	verifier := core.NewVerifier(tsKey.Address())
+	bm, err := core.NewBitmap(1024, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier.WithBitmap(bm)
+	legacy := contracts.NewSimpleStorage()
+	enabled := transform.Enable(legacy, verifier)
+
+	if enabled.Name() != "SimpleStorage (SMACS)" {
+		t.Errorf("name = %q", enabled.Name())
+	}
+	if got := enabled.InitialStorageWords(); got != bm.StorageWords() {
+		t.Errorf("initial storage words = %d, want %d", got, bm.StorageWords())
+	}
+	// The legacy contract is untouched.
+	if legacy.InitialStorageWords() != 0 {
+		t.Error("transform mutated the legacy contract")
+	}
+}
+
+func TestEnablePreservesFallback(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	verifier := core.NewVerifier(tsKey.Address())
+	bank := contracts.NewBank()
+	attacker := contracts.NewAttacker(types20(t, env), true)
+	_ = bank
+	// Just verify the fallback pointer survives the transform.
+	enabled := transform.Enable(attacker, verifier)
+	if enabled.Fallback() == nil {
+		t.Error("fallback lost in transformation")
+	}
+}
+
+func types20(t *testing.T, env *evmtest.Env) (addr [20]byte) {
+	t.Helper()
+	copy(addr[:], env.Wallets[0].Address().Bytes())
+	return addr
+}

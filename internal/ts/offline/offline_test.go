@@ -1,0 +1,163 @@
+package offline_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/evmtest"
+	"repro/internal/rules"
+	"repro/internal/secp256k1"
+	"repro/internal/transform"
+	"repro/internal/ts/offline"
+	"repro/internal/wallet"
+)
+
+var (
+	ownerKey  = secp256k1.PrivateKeyFromSeed([]byte("offline owner"))
+	issuerKey = secp256k1.PrivateKeyFromSeed([]byte("offline issuer"))
+)
+
+func fixedNow() time.Time { return time.Date(2020, 3, 17, 12, 0, 0, 0, time.UTC) }
+
+func sealBundle(t *testing.T, contract [20]byte, rs *rules.RuleSet, notAfter time.Time) *offline.Bundle {
+	t.Helper()
+	if rs == nil {
+		rs = rules.NewRuleSet()
+	}
+	b, err := offline.Seal(ownerKey, issuerKey, rs, contract, notAfter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSealOpenIssueEndToEnd(t *testing.T) {
+	// Full § IX flow: the bundle is opened locally, a token is issued
+	// without any service contact, and the SMACS-enabled contract accepts
+	// it because it trusts the delegate address.
+	env := evmtest.NewEnv(t, 2)
+	verifier := core.NewVerifier(issuerKey.Address())
+	protected := transform.Enable(contracts.NewSimpleStorage(), verifier)
+	addr := env.Deploy(t, protected)
+
+	bundle := sealBundle(t, addr, nil, fixedNow().Add(24*time.Hour))
+	issuer, err := offline.Open(bundle, ownerKey.Address(), env.Clock.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issuer.Address() != issuerKey.Address() {
+		t.Errorf("issuer address = %s", issuer.Address())
+	}
+
+	tk, err := issuer.Issue(&core.Request{
+		Type: core.SuperType, Contract: addr, Sender: env.Wallets[1].Address(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wallet.WithTokens(wallet.TokenEntry{Contract: addr, Token: tk})
+	env.MustCall(t, 1, addr, "set", opts, uint64(5))
+}
+
+func TestTamperedBundleRejected(t *testing.T) {
+	contract := [20]byte{0x01}
+	good := sealBundle(t, contract, nil, fixedNow().Add(time.Hour))
+
+	tamperedRules := *good
+	tamperedRules.RulesJSON = []byte(`{"sender":{"whitelist":["0xff"]}}`)
+	if _, err := offline.Open(&tamperedRules, ownerKey.Address(), fixedNow); !errors.Is(err, offline.ErrBadBundle) {
+		t.Errorf("tampered rules accepted: %v", err)
+	}
+
+	tamperedDeadline := *good
+	tamperedDeadline.NotAfter = good.NotAfter.Add(time.Hour)
+	if _, err := offline.Open(&tamperedDeadline, ownerKey.Address(), fixedNow); !errors.Is(err, offline.ErrBadBundle) {
+		t.Errorf("tampered deadline accepted: %v", err)
+	}
+
+	otherOwner := secp256k1.PrivateKeyFromSeed([]byte("not the owner"))
+	if _, err := offline.Open(good, otherOwner.Address(), fixedNow); !errors.Is(err, offline.ErrBadBundle) {
+		t.Errorf("wrong owner accepted: %v", err)
+	}
+
+	tamperedKey := *good
+	tamperedKey.IssuerKey = append([]byte(nil), good.IssuerKey...)
+	tamperedKey.IssuerKey[0] ^= 1
+	if _, err := offline.Open(&tamperedKey, ownerKey.Address(), fixedNow); !errors.Is(err, offline.ErrBadBundle) {
+		t.Errorf("swapped issuer key accepted: %v", err)
+	}
+}
+
+func TestBundleRulesEnforcedLocally(t *testing.T) {
+	contract := [20]byte{0x01}
+	client := [20]byte{0xc1}
+	rs := rules.NewRuleSet()
+	rs.SetSenderList(rules.NewList(rules.Whitelist, core.ValueKey(core.Binding{Origin: client}.Origin)))
+	bundle := sealBundle(t, contract, rs, fixedNow().Add(time.Hour))
+
+	issuer, err := offline.Open(bundle, ownerKey.Address(), fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := issuer.Issue(&core.Request{Type: core.SuperType, Contract: contract, Sender: client}); err != nil {
+		t.Errorf("whitelisted client denied: %v", err)
+	}
+	if _, err := issuer.Issue(&core.Request{Type: core.SuperType, Contract: contract, Sender: [20]byte{0xee}}); !errors.Is(err, rules.ErrDenied) {
+		t.Errorf("unlisted client allowed: %v", err)
+	}
+}
+
+func TestExpiryClampedToDeadline(t *testing.T) {
+	contract := [20]byte{0x01}
+	deadline := fixedNow().Add(10 * time.Minute) // below the 1h lifetime
+	bundle := sealBundle(t, contract, nil, deadline)
+	issuer, err := offline.Open(bundle, ownerKey.Address(), fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := issuer.Issue(&core.Request{Type: core.SuperType, Contract: contract, Sender: [20]byte{0xc1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Expire.After(deadline) {
+		t.Errorf("token expires %s, after the bundle deadline %s", tk.Expire, deadline)
+	}
+}
+
+func TestExpiredBundleUnusable(t *testing.T) {
+	contract := [20]byte{0x01}
+	bundle := sealBundle(t, contract, nil, fixedNow().Add(-time.Minute))
+	if _, err := offline.Open(bundle, ownerKey.Address(), fixedNow); !errors.Is(err, offline.ErrBundleExpired) {
+		t.Errorf("expired bundle opened: %v", err)
+	}
+}
+
+func TestOneTimeRejectedOffline(t *testing.T) {
+	contract := [20]byte{0x01}
+	bundle := sealBundle(t, contract, nil, fixedNow().Add(time.Hour))
+	issuer, err := offline.Open(bundle, ownerKey.Address(), fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = issuer.Issue(&core.Request{
+		Type: core.SuperType, Contract: contract, Sender: [20]byte{0xc1}, OneTime: true,
+	})
+	if !errors.Is(err, offline.ErrOneTimeOffline) {
+		t.Errorf("one-time issued offline: %v", err)
+	}
+}
+
+func TestWrongContractRejected(t *testing.T) {
+	bundle := sealBundle(t, [20]byte{0x01}, nil, fixedNow().Add(time.Hour))
+	issuer, err := offline.Open(bundle, ownerKey.Address(), fixedNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = issuer.Issue(&core.Request{Type: core.SuperType, Contract: [20]byte{0x02}, Sender: [20]byte{0xc1}})
+	if err == nil {
+		t.Error("bundle issued for a foreign contract")
+	}
+}

@@ -1,0 +1,78 @@
+package ts
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/secp256k1"
+	"repro/internal/types"
+)
+
+func TestRequireProofAcceptsOwner(t *testing.T) {
+	clientKey := secp256k1.PrivateKeyFromSeed([]byte("proof client"))
+	s := newService(t, Config{RequireProof: true})
+
+	req := &core.Request{Type: core.SuperType, Contract: target, Sender: clientKey.Address()}
+	if err := core.SignRequest(req, clientKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Issue(req); err != nil {
+		t.Fatalf("proved request denied: %v", err)
+	}
+}
+
+func TestRequireProofRejectsMissing(t *testing.T) {
+	s := newService(t, Config{RequireProof: true})
+	req := &core.Request{Type: core.SuperType, Contract: target, Sender: client}
+	if _, err := s.Issue(req); !errors.Is(err, core.ErrBadRequest) {
+		t.Errorf("unproved request: %v, want ErrBadRequest", err)
+	}
+}
+
+func TestRequireProofRejectsImpersonation(t *testing.T) {
+	clientKey := secp256k1.PrivateKeyFromSeed([]byte("proof client"))
+	malloryKey := secp256k1.PrivateKeyFromSeed([]byte("proof mallory"))
+	s := newService(t, Config{RequireProof: true})
+
+	// Mallory requests a token in the client's name with her own proof.
+	req := &core.Request{Type: core.SuperType, Contract: target, Sender: clientKey.Address()}
+	if err := core.SignRequest(req, malloryKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Issue(req); !errors.Is(err, core.ErrBadRequest) {
+		t.Errorf("impersonated request: %v, want ErrBadRequest", err)
+	}
+}
+
+func TestRequireProofBindsRequestContents(t *testing.T) {
+	clientKey := secp256k1.PrivateKeyFromSeed([]byte("proof client"))
+	s := newService(t, Config{RequireProof: true})
+
+	req := &core.Request{
+		Type: core.ArgumentType, Contract: target, Sender: clientKey.Address(),
+		Method: "act", Args: []core.NamedArg{{Name: "n", Value: uint64(1)}},
+	}
+	if err := core.SignRequest(req, clientKey); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the arguments after signing: the proof must break.
+	req.Args[0].Value = uint64(2)
+	if _, err := s.Issue(req); !errors.Is(err, core.ErrBadRequest) {
+		t.Errorf("tampered request accepted: %v", err)
+	}
+	// Flipping the one-time flag is also covered.
+	req.Args[0].Value = uint64(1)
+	req.OneTime = true
+	if _, err := s.Issue(req); !errors.Is(err, core.ErrBadRequest) {
+		t.Errorf("one-time flip accepted: %v", err)
+	}
+}
+
+func TestProofOptionalByDefault(t *testing.T) {
+	s := newService(t, Config{})
+	req := &core.Request{Type: core.SuperType, Contract: target, Sender: types.Address{0x77}}
+	if _, err := s.Issue(req); err != nil {
+		t.Errorf("default service demanded a proof: %v", err)
+	}
+}

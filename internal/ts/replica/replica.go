@@ -1,0 +1,159 @@
+// Package replica implements the quorum-replicated monotonic counter the
+// paper prescribes for highly available Token Services issuing one-time
+// tokens (§ VII-B: "its replicas have to coordinate on the current counter
+// value ... efficiently realized via a replicated counter primitive").
+//
+// The cluster keeps N replicas; an allocation round reads a majority,
+// proposes max+1, and commits only if a majority accepts (each replica
+// accepts a value only once and only if it is larger than anything it has
+// accepted). Because any two majorities intersect, no two frontends can
+// commit the same index — the uniqueness one-time tokens require. The
+// cluster tolerates ⌊(N−1)/2⌋ crashed replicas.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoQuorum is returned when fewer than a majority of replicas respond.
+var ErrNoQuorum = errors.New("replica: quorum unavailable")
+
+// replica is one counter replica. In production these would live on
+// separate machines behind a consensus protocol; here they model the
+// abstract primitive with injectable failures.
+type replica struct {
+	mu       sync.Mutex
+	accepted int64
+	down     bool
+}
+
+// read returns the highest accepted value, or an error when down.
+func (r *replica) read() (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down {
+		return 0, errors.New("replica down")
+	}
+	return r.accepted, nil
+}
+
+// propose accepts v iff the replica is up and v is strictly greater than
+// anything accepted before.
+func (r *replica) propose(v int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down || v <= r.accepted {
+		return false
+	}
+	r.accepted = v
+	return true
+}
+
+// Cluster is a set of counter replicas plus the client-side allocation
+// protocol.
+type Cluster struct {
+	replicas []*replica
+}
+
+// NewCluster creates a cluster of n replicas (n must be odd and ≥ 1 so
+// majorities are unambiguous).
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 || n%2 == 0 {
+		return nil, fmt.Errorf("replica: cluster size must be odd and positive, got %d", n)
+	}
+	c := &Cluster{replicas: make([]*replica, n)}
+	for i := range c.replicas {
+		c.replicas[i] = &replica{}
+	}
+	return c, nil
+}
+
+// Size returns the number of replicas.
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+func (c *Cluster) majority() int { return len(c.replicas)/2 + 1 }
+
+// Kill crashes replica i (allocation keeps working while a majority is
+// up).
+func (c *Cluster) Kill(i int) {
+	c.replicas[i].mu.Lock()
+	c.replicas[i].down = true
+	c.replicas[i].mu.Unlock()
+}
+
+// Revive restarts replica i (it keeps its accepted value, as a durable
+// log would).
+func (c *Cluster) Revive(i int) {
+	c.replicas[i].mu.Lock()
+	c.replicas[i].down = false
+	c.replicas[i].mu.Unlock()
+}
+
+// Counter returns a frontend implementing ts.Counter against this cluster.
+// Multiple frontends may allocate concurrently; indexes are unique across
+// all of them.
+func (c *Cluster) Counter() *QuorumCounter { return &QuorumCounter{cluster: c} }
+
+// QuorumCounter is a client-side frontend allocating unique, strictly
+// increasing indexes from the cluster.
+type QuorumCounter struct {
+	cluster *Cluster
+}
+
+// maxProposeRounds bounds retries under heavy contention.
+const maxProposeRounds = 64
+
+// Next allocates the next index: read a majority, propose max+1, and
+// retry with a larger value while other frontends win races. Fails with
+// ErrNoQuorum when a majority of replicas is unreachable.
+func (q *QuorumCounter) Next() (int64, error) {
+	for round := 0; round < maxProposeRounds; round++ {
+		max, err := q.readMax()
+		if err != nil {
+			return 0, err
+		}
+		candidate := max + 1
+		acks := 0
+		alive := 0
+		for _, r := range q.cluster.replicas {
+			if r.propose(candidate) {
+				acks++
+				alive++
+				continue
+			}
+			if _, err := r.read(); err == nil {
+				alive++
+			}
+		}
+		if alive < q.cluster.majority() {
+			return 0, ErrNoQuorum
+		}
+		if acks >= q.cluster.majority() {
+			return candidate, nil
+		}
+		// Lost the race: another frontend claimed this value on some
+		// replicas. Retry with a fresh read.
+	}
+	return 0, fmt.Errorf("replica: no progress after %d rounds", maxProposeRounds)
+}
+
+func (q *QuorumCounter) readMax() (int64, error) {
+	responses := 0
+	var max int64
+	for _, r := range q.cluster.replicas {
+		v, err := r.read()
+		if err != nil {
+			continue
+		}
+		responses++
+		if v > max {
+			max = v
+		}
+	}
+	if responses < q.cluster.majority() {
+		return 0, ErrNoQuorum
+	}
+	return max, nil
+}

@@ -1,0 +1,141 @@
+package replica
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestClusterSizeValidation(t *testing.T) {
+	for _, n := range []int{0, -1, 2, 4} {
+		if _, err := NewCluster(n); err == nil {
+			t.Errorf("cluster size %d accepted", n)
+		}
+	}
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 {
+		t.Errorf("Size = %d", c.Size())
+	}
+}
+
+func TestSequentialAllocation(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := c.Counter()
+	for want := int64(1); want <= 10; want++ {
+		got, err := ctr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Next = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestConcurrentFrontendsUnique(t *testing.T) {
+	// § VII-B: replicated TSes coordinate on the counter; no two may issue
+	// the same one-time index.
+	c, err := NewCluster(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		frontends = 8
+		perFE     = 50
+	)
+	out := make(chan int64, frontends*perFE)
+	var wg sync.WaitGroup
+	for i := 0; i < frontends; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctr := c.Counter()
+			for j := 0; j < perFE; j++ {
+				v, err := ctr.Next()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out <- v
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[int64]bool)
+	for v := range out {
+		if seen[v] {
+			t.Fatalf("index %d allocated twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != frontends*perFE {
+		t.Errorf("allocated %d unique values, want %d", len(seen), frontends*perFE)
+	}
+}
+
+func TestToleratesMinorityFailure(t *testing.T) {
+	c, err := NewCluster(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := c.Counter()
+	if _, err := ctr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(0)
+	c.Kill(1)
+	v, err := ctr.Next()
+	if err != nil {
+		t.Fatalf("allocation failed with minority down: %v", err)
+	}
+	if v != 2 {
+		t.Errorf("Next = %d, want 2", v)
+	}
+}
+
+func TestFailsWithoutQuorum(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(0)
+	c.Kill(1)
+	if _, err := c.Counter().Next(); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestReviveRestoresProgressAndMonotonicity(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := c.Counter()
+	for i := 0; i < 5; i++ {
+		if _, err := ctr.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Kill(2)
+	mid, err := ctr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Revive(2)
+	// The revived replica lags; allocation must still move forward, never
+	// backward.
+	next, err := ctr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next <= mid {
+		t.Errorf("allocation went backwards: %d after %d", next, mid)
+	}
+}

@@ -1,0 +1,226 @@
+// Package ts implements the SMACS Token Service: the off-chain
+// infrastructure that verifies token requests against the owner's Access
+// Control Rules, runs the plugged-in runtime-verification tools, and issues
+// signed tokens (§ III/IV). A Service corresponds to one SMACS-enabled
+// contract and holds the signing key skTS whose address the contract's
+// verifier trusts.
+package ts
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/secp256k1"
+	"repro/internal/types"
+)
+
+// DefaultTokenLifetime is used when the owner does not configure one. The
+// paper's Table IV analysis assumes a one-hour lifetime.
+const DefaultTokenLifetime = time.Hour
+
+// Validator is a pluggable validation-module tool (Fig. 1's "Verification
+// Tools" box): given a compliant token request, it may veto issuance, e.g.
+// by simulating the requested call with Hydra or an ECF checker (§ V).
+type Validator interface {
+	// Name identifies the tool in errors and logs.
+	Name() string
+	// Validate returns nil to approve the request.
+	Validate(req *core.Request) error
+}
+
+// Counter allocates one-time-token indexes. The paper requires replicated
+// TSes to coordinate on it (§ VII-B); see the replica subpackage.
+type Counter interface {
+	// Next returns the next unused index (strictly increasing).
+	Next() (int64, error)
+}
+
+// LocalCounter is the single-instance counter of § IV-C: initialized to 0
+// and incremented before use, so the first issued index is 1.
+type LocalCounter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Next implements Counter.
+func (c *LocalCounter) Next() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n, nil
+}
+
+// Service errors.
+var (
+	// ErrValidatorRejected wraps a runtime-verification veto.
+	ErrValidatorRejected = errors.New("ts: validator rejected the request")
+	// ErrWrongContract is returned when a request targets a contract this
+	// service does not serve.
+	ErrWrongContract = errors.New("ts: request targets a different contract")
+)
+
+// Config parameterizes a Token Service.
+type Config struct {
+	// Key is skTS. Required.
+	Key *secp256k1.PrivateKey
+	// Contract restricts the service to one contract address (zero =
+	// serve any cAddr, useful for tests).
+	Contract types.Address
+	// Rules is the initial ACR set; nil means allow-all.
+	Rules *rules.RuleSet
+	// Lifetime is the token validity window (0 = DefaultTokenLifetime).
+	Lifetime time.Duration
+	// Counter allocates one-time indexes (nil = a fresh LocalCounter).
+	Counter Counter
+	// Now injects a clock (nil = time.Now).
+	Now func() time.Time
+	// RequireProof demands a proof of possession on every request (the
+	// client's signature over core.Request.ProofDigest), so third parties
+	// cannot request tokens in another sender's name.
+	RequireProof bool
+}
+
+// Service issues SMACS tokens.
+type Service struct {
+	mu           sync.RWMutex
+	key          *secp256k1.PrivateKey
+	contract     types.Address
+	rules        *rules.RuleSet
+	lifetime     time.Duration
+	counter      Counter
+	now          func() time.Time
+	requireProof bool
+	validators   []Validator
+
+	issued   uint64
+	rejected uint64
+}
+
+// New creates a Token Service from cfg.
+func New(cfg Config) (*Service, error) {
+	if cfg.Key == nil {
+		return nil, errors.New("ts: signing key is required")
+	}
+	s := &Service{
+		key:          cfg.Key,
+		contract:     cfg.Contract,
+		rules:        cfg.Rules,
+		lifetime:     cfg.Lifetime,
+		counter:      cfg.Counter,
+		now:          cfg.Now,
+		requireProof: cfg.RequireProof,
+	}
+	if s.rules == nil {
+		s.rules = rules.NewRuleSet()
+	}
+	if s.lifetime == 0 {
+		s.lifetime = DefaultTokenLifetime
+	}
+	if s.counter == nil {
+		s.counter = &LocalCounter{}
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	return s, nil
+}
+
+// Address returns the service's token-signing address — the value the
+// SMACS-enabled contract's verifier is preloaded with.
+func (s *Service) Address() types.Address { return s.key.Address() }
+
+// Rules returns the live rule set; it is internally synchronized, so the
+// owner can update it while the service runs.
+func (s *Service) Rules() *rules.RuleSet { return s.rules }
+
+// ReplaceRules atomically swaps in a new rule set.
+func (s *Service) ReplaceRules(rs *rules.RuleSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rs == nil {
+		rs = rules.NewRuleSet()
+	}
+	s.rules = rs
+}
+
+// AddValidator plugs a runtime-verification tool into the validation
+// module. Validators run (in registration order) for every compliant
+// argument-token request.
+func (s *Service) AddValidator(v Validator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.validators = append(s.validators, v)
+}
+
+// Lifetime returns the configured token lifetime.
+func (s *Service) Lifetime() time.Duration { return s.lifetime }
+
+// Stats reports how many requests were issued and rejected.
+func (s *Service) Stats() (issued, rejected uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.issued, s.rejected
+}
+
+// Issue validates a token request and, if it complies with the ACRs and
+// every validator approves, returns a freshly signed token (§ IV-B a).
+func (s *Service) Issue(req *core.Request) (core.Token, error) {
+	tk, err := s.issue(req)
+	s.mu.Lock()
+	if err != nil {
+		s.rejected++
+	} else {
+		s.issued++
+	}
+	s.mu.Unlock()
+	return tk, err
+}
+
+func (s *Service) issue(req *core.Request) (core.Token, error) {
+	if err := req.Validate(); err != nil {
+		return core.Token{}, err
+	}
+	if !s.contract.IsZero() && req.Contract != s.contract {
+		return core.Token{}, fmt.Errorf("%w: %s", ErrWrongContract, req.Contract)
+	}
+	if s.requireProof {
+		if err := req.VerifyProof(); err != nil {
+			return core.Token{}, err
+		}
+	}
+
+	s.mu.RLock()
+	ruleSet := s.rules
+	validators := s.validators
+	s.mu.RUnlock()
+
+	if err := ruleSet.Check(req); err != nil {
+		return core.Token{}, err
+	}
+	if req.Type == core.ArgumentType {
+		for _, v := range validators {
+			if err := v.Validate(req); err != nil {
+				return core.Token{}, fmt.Errorf("%w: %s: %v", ErrValidatorRejected, v.Name(), err)
+			}
+		}
+	}
+
+	index := core.NotOneTime
+	if req.OneTime {
+		n, err := s.counter.Next()
+		if err != nil {
+			return core.Token{}, fmt.Errorf("ts: allocate one-time index: %w", err)
+		}
+		index = n
+	}
+	binding, err := req.Binding()
+	if err != nil {
+		return core.Token{}, err
+	}
+	expire := s.now().Add(s.lifetime)
+	return core.SignToken(s.key, req.Type, expire, index, binding)
+}

@@ -1,0 +1,250 @@
+package ts
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/secp256k1"
+	"repro/internal/types"
+)
+
+var (
+	tsKey  = secp256k1.PrivateKeyFromSeed([]byte("ts service"))
+	client = types.Address{0xc1}
+	target = types.Address{0x01}
+)
+
+func fixedNow() time.Time {
+	return time.Date(2020, 3, 17, 12, 0, 0, 0, time.UTC)
+}
+
+func newService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	if cfg.Key == nil {
+		cfg.Key = tsKey
+	}
+	if cfg.Now == nil {
+		cfg.Now = fixedNow
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIssueSuperToken(t *testing.T) {
+	s := newService(t, Config{})
+	tk, err := s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Type != core.SuperType || tk.OneTime() {
+		t.Errorf("token = %+v", tk)
+	}
+	wantExpire := fixedNow().Add(DefaultTokenLifetime)
+	if !tk.Expire.Equal(wantExpire) {
+		t.Errorf("expire = %v, want %v", tk.Expire, wantExpire)
+	}
+	// The token verifies against the service address and binding.
+	if err := tk.VerifySignature(s.Address(), core.Binding{Origin: client, Contract: target}); err != nil {
+		t.Errorf("issued token does not verify: %v", err)
+	}
+}
+
+func TestIssueValidatesRequestShape(t *testing.T) {
+	s := newService(t, Config{})
+	bad := []*core.Request{
+		{Type: 0, Contract: target, Sender: client},
+		{Type: core.SuperType, Sender: client},
+		{Type: core.SuperType, Contract: target},
+		{Type: core.SuperType, Contract: target, Sender: client, Method: "x"},
+		{Type: core.MethodType, Contract: target, Sender: client},
+		{Type: core.MethodType, Contract: target, Sender: client, Method: "m",
+			Args: []core.NamedArg{{Name: "a", Value: uint64(1)}}},
+		{Type: core.ArgumentType, Contract: target, Sender: client},
+	}
+	for i, req := range bad {
+		if _, err := s.Issue(req); !errors.Is(err, core.ErrBadRequest) {
+			t.Errorf("request %d: err = %v, want ErrBadRequest", i, err)
+		}
+	}
+	_, rejected := s.Stats()
+	if rejected != uint64(len(bad)) {
+		t.Errorf("rejected = %d, want %d", rejected, len(bad))
+	}
+}
+
+func TestIssueEnforcesRules(t *testing.T) {
+	rs := rules.NewRuleSet()
+	rs.SetSenderList(rules.NewList(rules.Whitelist, core.ValueKey(client)))
+	s := newService(t, Config{Rules: rs})
+
+	if _, err := s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: client}); err != nil {
+		t.Errorf("whitelisted client denied: %v", err)
+	}
+	other := types.Address{0xee}
+	if _, err := s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: other}); !errors.Is(err, rules.ErrDenied) {
+		t.Errorf("unlisted client allowed: %v", err)
+	}
+
+	// Rules are live: the owner can update them while the service runs.
+	rs.AddSender(core.ValueKey(other))
+	if _, err := s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: other}); err != nil {
+		t.Errorf("added client still denied: %v", err)
+	}
+}
+
+func TestReplaceRules(t *testing.T) {
+	s := newService(t, Config{})
+	deny := rules.NewRuleSet()
+	deny.SetSenderList(rules.NewList(rules.Whitelist)) // empty whitelist: deny all
+	s.ReplaceRules(deny)
+	if _, err := s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: client}); !errors.Is(err, rules.ErrDenied) {
+		t.Errorf("deny-all replacement not effective: %v", err)
+	}
+	s.ReplaceRules(nil) // back to allow-all
+	if _, err := s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: client}); err != nil {
+		t.Errorf("allow-all replacement not effective: %v", err)
+	}
+}
+
+func TestWrongContractRejected(t *testing.T) {
+	s := newService(t, Config{Contract: target})
+	other := types.Address{0x02}
+	if _, err := s.Issue(&core.Request{Type: core.SuperType, Contract: other, Sender: client}); !errors.Is(err, ErrWrongContract) {
+		t.Errorf("err = %v, want ErrWrongContract", err)
+	}
+}
+
+// vetoValidator rejects requests whose first argument equals the poison
+// value.
+type vetoValidator struct{ poison uint64 }
+
+func (v vetoValidator) Name() string { return "veto" }
+
+func (v vetoValidator) Validate(req *core.Request) error {
+	for _, a := range req.Args {
+		if u, ok := a.Value.(uint64); ok && u == v.poison {
+			return fmt.Errorf("poison value %d", v.poison)
+		}
+	}
+	return nil
+}
+
+func TestValidatorVetoesArgumentTokens(t *testing.T) {
+	s := newService(t, Config{})
+	s.AddValidator(vetoValidator{poison: 13})
+
+	good := &core.Request{Type: core.ArgumentType, Contract: target, Sender: client,
+		Method: "act", Args: []core.NamedArg{{Name: "n", Value: uint64(7)}}}
+	if _, err := s.Issue(good); err != nil {
+		t.Errorf("benign request denied: %v", err)
+	}
+	bad := &core.Request{Type: core.ArgumentType, Contract: target, Sender: client,
+		Method: "act", Args: []core.NamedArg{{Name: "n", Value: uint64(13)}}}
+	if _, err := s.Issue(bad); !errors.Is(err, ErrValidatorRejected) {
+		t.Errorf("err = %v, want ErrValidatorRejected", err)
+	}
+
+	// Validators only gate argument tokens: a method token for the same
+	// method passes (it does not commit to arguments).
+	m := &core.Request{Type: core.MethodType, Contract: target, Sender: client, Method: "act"}
+	if _, err := s.Issue(m); err != nil {
+		t.Errorf("method token gated by validator: %v", err)
+	}
+}
+
+func TestOneTimeIndexSequence(t *testing.T) {
+	s := newService(t, Config{})
+	for want := int64(1); want <= 5; want++ {
+		tk, err := s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: client, OneTime: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tk.Index != want {
+			t.Errorf("index = %d, want %d (§ IV-C: counter incremented then used)", tk.Index, want)
+		}
+	}
+}
+
+func TestConcurrentIssuanceUniqueIndexes(t *testing.T) {
+	s := newService(t, Config{})
+	const n = 200
+	indexes := make(chan int64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk, err := s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: client, OneTime: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			indexes <- tk.Index
+		}()
+	}
+	wg.Wait()
+	close(indexes)
+	seen := make(map[int64]bool, n)
+	for idx := range indexes {
+		if seen[idx] {
+			t.Fatalf("index %d issued twice", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != n {
+		t.Errorf("issued %d unique indexes, want %d", len(seen), n)
+	}
+}
+
+func TestArgumentTokenBindsDeclaredPayload(t *testing.T) {
+	s := newService(t, Config{})
+	req := &core.Request{Type: core.ArgumentType, Contract: target, Sender: client,
+		Method: "transfer", Args: []core.NamedArg{
+			{Name: "to", Value: types.Address{0xdd}},
+			{Name: "amount", Value: big.NewInt(42)},
+		}}
+	tk, err := s.Issue(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding, err := req.Binding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.VerifySignature(s.Address(), binding); err != nil {
+		t.Errorf("argument token does not verify against its own binding: %v", err)
+	}
+	// And not against a different payload.
+	other := binding
+	otherData := append([]byte(nil), binding.Data...)
+	otherData[len(otherData)-1] ^= 1
+	other.Data = otherData
+	if err := tk.VerifySignature(s.Address(), other); err == nil {
+		t.Error("argument token verified against a modified payload")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := newService(t, Config{})
+	_, _ = s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: client})
+	_, _ = s.Issue(&core.Request{Type: 0})
+	issued, rejected := s.Stats()
+	if issued != 1 || rejected != 1 {
+		t.Errorf("stats = (%d, %d), want (1, 1)", issued, rejected)
+	}
+}
+
+func TestNewRequiresKey(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("service without key accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package ts
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// recordingValidator logs its invocation order and optionally rejects.
+type recordingValidator struct {
+	name   string
+	reject bool
+	log    *[]string
+}
+
+func (v recordingValidator) Name() string { return v.name }
+
+func (v recordingValidator) Validate(req *core.Request) error {
+	*v.log = append(*v.log, v.name)
+	if v.reject {
+		return errors.New("rejected by " + v.name)
+	}
+	return nil
+}
+
+func TestValidatorsRunInRegistrationOrderAndShortCircuit(t *testing.T) {
+	s := newService(t, Config{})
+	var log []string
+	s.AddValidator(recordingValidator{name: "first", log: &log})
+	s.AddValidator(recordingValidator{name: "second", reject: true, log: &log})
+	s.AddValidator(recordingValidator{name: "third", log: &log})
+
+	req := &core.Request{
+		Type: core.ArgumentType, Contract: target, Sender: client,
+		Method: "act", Args: []core.NamedArg{{Name: "n", Value: uint64(1)}},
+	}
+	_, err := s.Issue(req)
+	if !errors.Is(err, ErrValidatorRejected) {
+		t.Fatalf("err = %v, want ErrValidatorRejected", err)
+	}
+	if len(log) != 2 || log[0] != "first" || log[1] != "second" {
+		t.Errorf("validator invocation order = %v, want [first second]", log)
+	}
+}
+
+func TestValidatorsSkippedWhenRulesDeny(t *testing.T) {
+	// Expensive runtime tools must not run for requests the static rules
+	// already reject.
+	s := newService(t, Config{})
+	var log []string
+	s.AddValidator(recordingValidator{name: "tool", log: &log})
+
+	deny := rules.NewRuleSet()
+	deny.SetSenderList(rules.NewList(rules.Whitelist)) // empty whitelist: deny all
+	s.ReplaceRules(deny)
+
+	req := &core.Request{
+		Type: core.ArgumentType, Contract: target, Sender: client,
+		Method: "act", Args: []core.NamedArg{{Name: "n", Value: uint64(1)}},
+	}
+	if _, err := s.Issue(req); err == nil {
+		t.Fatal("deny-all rules did not deny")
+	}
+	if len(log) != 0 {
+		t.Errorf("validators ran despite rule denial: %v", log)
+	}
+}

@@ -1,0 +1,134 @@
+package tshttp
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+)
+
+// Client talks to a Token Service over HTTP. This is the piece a wallet
+// integrates so token acquisition happens "seamlessly for users prior to
+// actual transaction sending" (§ IV-B).
+type Client struct {
+	base  string
+	http  *http.Client
+	owner string
+}
+
+// NewClient creates a client for the service at base (e.g.
+// "http://127.0.0.1:8546"). ownerToken may be empty for pure clients.
+func NewClient(base string, ownerToken string) *Client {
+	return &Client{
+		base:  base,
+		http:  &http.Client{Timeout: 10 * time.Second},
+		owner: ownerToken,
+	}
+}
+
+// RequestToken submits a token request and returns the parsed token.
+func (c *Client) RequestToken(req *core.Request) (core.Token, error) {
+	wr, err := FromRequest(req)
+	if err != nil {
+		return core.Token{}, err
+	}
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return core.Token{}, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/token", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return core.Token{}, fmt.Errorf("token request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		_ = json.NewDecoder(resp.Body).Decode(&we)
+		return core.Token{}, fmt.Errorf("token request denied (%d): %s", resp.StatusCode, we.Error)
+	}
+	var wt WireToken
+	if err := json.NewDecoder(resp.Body).Decode(&wt); err != nil {
+		return core.Token{}, fmt.Errorf("token response: %w", err)
+	}
+	raw, err := hex.DecodeString(wt.Token)
+	if err != nil {
+		return core.Token{}, fmt.Errorf("token hex: %w", err)
+	}
+	return core.ParseToken(raw)
+}
+
+// Info describes a Token Service instance.
+type Info struct {
+	// Address is the token-signing address contracts trust.
+	Address string `json:"address"`
+	// LifetimeSeconds is the configured token lifetime.
+	LifetimeSeconds int64 `json:"lifetimeSeconds"`
+}
+
+// Info fetches the service's public parameters.
+func (c *Client) Info() (Info, error) {
+	resp, err := c.http.Get(c.base + "/v1/info")
+	if err != nil {
+		return Info{}, err
+	}
+	defer resp.Body.Close()
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return Info{}, err
+	}
+	return info, nil
+}
+
+// UpdateRules replaces the service's ACRs (owner only).
+func (c *Client) UpdateRules(rs *rules.RuleSet) error {
+	body, err := json.Marshal(rs)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.base+"/v1/rules", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.owner)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		_ = json.NewDecoder(resp.Body).Decode(&we)
+		return fmt.Errorf("update rules (%d): %s", resp.StatusCode, we.Error)
+	}
+	return nil
+}
+
+// FetchRules downloads the current ACRs (owner only).
+func (c *Client) FetchRules() (*rules.RuleSet, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/rules", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Authorization", "Bearer "+c.owner)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		_ = json.NewDecoder(resp.Body).Decode(&we)
+		return nil, fmt.Errorf("fetch rules (%d): %s", resp.StatusCode, we.Error)
+	}
+	rs := rules.NewRuleSet()
+	if err := json.NewDecoder(resp.Body).Decode(rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}

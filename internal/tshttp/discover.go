@@ -1,0 +1,42 @@
+package tshttp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/evm"
+	"repro/internal/types"
+)
+
+// MetadataKey is the contract-metadata key under which owners publish
+// their Token Service URL (§ VII-B b: "adding the service address as a
+// smart contract instance metadata").
+const MetadataKey = "smacs.ts"
+
+// ErrNoService is returned when a contract publishes no Token Service URL.
+var ErrNoService = errors.New("tshttp: contract publishes no token service")
+
+// Discover resolves the Token Service of a SMACS-enabled contract from its
+// on-chain metadata and returns a ready client.
+func Discover(chain *evm.Chain, contract types.Address) (*Client, error) {
+	c, ok := chain.ContractAt(contract)
+	if !ok {
+		return nil, fmt.Errorf("tshttp: no contract at %s", contract)
+	}
+	url, ok := c.Metadata(MetadataKey)
+	if !ok || url == "" {
+		return nil, fmt.Errorf("%w: %s", ErrNoService, contract)
+	}
+	return NewClient(url, ""), nil
+}
+
+// Announce publishes the Token Service URL into the contract's metadata
+// (the owner-side half of discovery).
+func Announce(chain *evm.Chain, contract types.Address, url string) error {
+	c, ok := chain.ContractAt(contract)
+	if !ok {
+		return fmt.Errorf("tshttp: no contract at %s", contract)
+	}
+	c.SetMetadata(MetadataKey, url)
+	return nil
+}

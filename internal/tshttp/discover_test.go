@@ -1,0 +1,66 @@
+package tshttp
+
+import (
+	"errors"
+	"math/big"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/secp256k1"
+	"repro/internal/ts"
+	"repro/internal/types"
+)
+
+func TestDiscoverRoundTrip(t *testing.T) {
+	chain := evm.NewChain(evm.DefaultConfig())
+	owner := types.Address{0x07}
+	chain.Fund(owner, big.NewInt(1e18))
+	c := evm.NewContract("Discoverable")
+	c.MustAddMethod(evm.Method{Name: "noop", Visibility: evm.Public,
+		Handler: func(*evm.Call) ([]any, error) { return nil, nil }})
+	addr, _, err := chain.Deploy(owner, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No announcement yet.
+	if _, err := Discover(chain, addr); !errors.Is(err, ErrNoService) {
+		t.Errorf("err = %v, want ErrNoService", err)
+	}
+	if _, err := Discover(chain, types.Address{0xEE}); err == nil {
+		t.Error("discovery on an empty address succeeded")
+	}
+
+	// Owner announces a live service; the client discovers and uses it.
+	svc, err := ts.New(ts.Config{Key: secp256k1.PrivateKeyFromSeed([]byte("disc"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(svc, "").Handler())
+	defer srv.Close()
+	if err := Announce(chain, addr, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := Discover(chain, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := client.RequestToken(&core.Request{
+		Type: core.SuperType, Contract: addr, Sender: types.Address{0xc1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.VerifySignature(svc.Address(), core.Binding{
+		Origin: types.Address{0xc1}, Contract: addr,
+	}); err != nil {
+		t.Errorf("discovered service issued a bad token: %v", err)
+	}
+
+	if err := Announce(chain, types.Address{0xEE}, srv.URL); err == nil {
+		t.Error("announce on an empty address succeeded")
+	}
+}

@@ -1,0 +1,62 @@
+package tshttp
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/secp256k1"
+	"repro/internal/ts"
+)
+
+func TestProofOfPossessionOverHTTP(t *testing.T) {
+	svc, err := ts.New(ts.Config{
+		Key:          httpTSKey,
+		RequireProof: true,
+		Now:          func() time.Time { return time.Date(2020, 3, 17, 12, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(svc, "").Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL, "")
+
+	clientKey := secp256k1.PrivateKeyFromSeed([]byte("http proof client"))
+
+	// Without a proof: rejected as a bad request.
+	bare := &core.Request{Type: core.SuperType, Contract: httpDst, Sender: clientKey.Address()}
+	if _, err := client.RequestToken(bare); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("unproved request over HTTP: %v, want 400", err)
+	}
+
+	// With a proof: the signature must survive the JSON wire round trip.
+	proved := &core.Request{Type: core.SuperType, Contract: httpDst, Sender: clientKey.Address()}
+	if err := core.SignRequest(proved, clientKey); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := client.RequestToken(proved)
+	if err != nil {
+		t.Fatalf("proved request denied over HTTP: %v", err)
+	}
+	if err := tk.VerifySignature(svc.Address(), core.Binding{
+		Origin: clientKey.Address(), Contract: httpDst,
+	}); err != nil {
+		t.Errorf("token does not verify: %v", err)
+	}
+
+	// Argument requests: ValueKey canonicalization must agree on both
+	// sides of the wire (uint64 becomes *big.Int after decoding).
+	argReq := &core.Request{
+		Type: core.ArgumentType, Contract: httpDst, Sender: clientKey.Address(),
+		Method: "act", Args: []core.NamedArg{{Name: "n", Value: uint64(7)}},
+	}
+	if err := core.SignRequest(argReq, clientKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.RequestToken(argReq); err != nil {
+		t.Errorf("proved argument request denied: %v", err)
+	}
+}

@@ -1,0 +1,117 @@
+package tshttp
+
+import (
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/ts"
+)
+
+// Server exposes a Token Service over HTTP.
+//
+// Routes:
+//
+//	POST /v1/token   — request a token (clients)
+//	GET  /v1/info    — service address and token lifetime (public)
+//	GET  /v1/rules   — current ACRs (owner only: rules stay private)
+//	PUT  /v1/rules   — replace the ACRs (owner only)
+//	GET  /healthz    — liveness
+type Server struct {
+	svc        *ts.Service
+	ownerToken string
+	mux        *http.ServeMux
+}
+
+// NewServer wraps svc. ownerToken is the bearer secret required by the
+// rule-administration endpoints; an empty token disables them entirely
+// (fail closed).
+func NewServer(svc *ts.Service, ownerToken string) *Server {
+	s := &Server{svc: svc, ownerToken: ownerToken, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/token", s.handleToken)
+	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /v1/rules", s.ownerOnly(s.handleGetRules))
+	s.mux.HandleFunc("PUT /v1/rules", s.ownerOnly(s.handlePutRules))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// Handler returns the HTTP handler (mount behind TLS in production — the
+// paper's interface is HTTPS).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) ownerOnly(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.ownerToken == "" {
+			writeJSON(w, http.StatusForbidden, wireError{Error: "rule administration disabled"})
+			return
+		}
+		got := r.Header.Get("Authorization")
+		want := "Bearer " + s.ownerToken
+		if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+			writeJSON(w, http.StatusUnauthorized, wireError{Error: "owner authorization required"})
+			return
+		}
+		next(w, r)
+	}
+}
+
+func (s *Server) handleToken(w http.ResponseWriter, r *http.Request) {
+	var wr WireRequest
+	if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	req, err := ToRequest(&wr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: err.Error()})
+		return
+	}
+	tk, err := s.svc.Issue(req)
+	if err != nil {
+		status := http.StatusForbidden
+		if errors.Is(err, core.ErrBadRequest) {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, wireError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, WireToken{
+		Token:  hex.EncodeToString(tk.Encode()),
+		Expire: tk.Expire.Unix(),
+		Index:  tk.Index,
+	})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"address":         s.svc.Address().Hex(),
+		"lifetimeSeconds": int64(s.svc.Lifetime().Seconds()),
+	})
+}
+
+func (s *Server) handleGetRules(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Rules().Snapshot())
+}
+
+func (s *Server) handlePutRules(w http.ResponseWriter, r *http.Request) {
+	rs := rules.NewRuleSet()
+	if err := json.NewDecoder(r.Body).Decode(rs); err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "bad rules JSON: " + err.Error()})
+		return
+	}
+	s.svc.ReplaceRules(rs)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "rules replaced"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

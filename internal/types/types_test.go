@@ -1,0 +1,119 @@
+package types
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHexToAddressRoundTrip(t *testing.T) {
+	const in = "0x366c0ad2f0908deadbeef012345678901234abcd"
+	a, err := HexToAddress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Hex(); got != in {
+		t.Errorf("Hex() = %s, want %s", got, in)
+	}
+}
+
+func TestHexToAddressForms(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		wantErr bool
+	}{
+		{"no prefix", "366c0ad2f0908deadbeef012345678901234abcd", false},
+		{"uppercase prefix", "0X366C0AD2F0908DEADBEEF012345678901234ABCD", false},
+		{"short (left-padded)", "0x1", false},
+		{"odd length", "0x123", false},
+		{"too long", "0x" + strings.Repeat("ab", 21), true},
+		{"not hex", "0xzz6c0ad2f0908deadbeef012345678901234abcd", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := HexToAddress(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("HexToAddress(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBytesToAddressTruncation(t *testing.T) {
+	// 32-byte input keeps the low-order 20 bytes (Ethereum convention).
+	in := make([]byte, 32)
+	for i := range in {
+		in[i] = byte(i)
+	}
+	a := BytesToAddress(in)
+	for i := 0; i < 20; i++ {
+		if a[i] != byte(i+12) {
+			t.Fatalf("byte %d = %#x, want %#x", i, a[i], byte(i+12))
+		}
+	}
+}
+
+func TestBytesToAddressPadding(t *testing.T) {
+	a := BytesToAddress([]byte{0xab})
+	if a[19] != 0xab {
+		t.Errorf("low byte = %#x, want 0xab", a[19])
+	}
+	for i := 0; i < 19; i++ {
+		if a[i] != 0 {
+			t.Errorf("byte %d = %#x, want 0", i, a[i])
+		}
+	}
+}
+
+func TestZeroChecks(t *testing.T) {
+	if !ZeroAddress.IsZero() {
+		t.Error("ZeroAddress.IsZero() = false")
+	}
+	if (Address{1}).IsZero() {
+		t.Error("nonzero address reported zero")
+	}
+	if !(Hash{}).IsZero() {
+		t.Error("zero hash reported nonzero")
+	}
+	if (Hash{1}).IsZero() {
+		t.Error("nonzero hash reported zero")
+	}
+}
+
+func TestHashRoundTrip(t *testing.T) {
+	const in = "0x00000000000000000000000000000000000000000000000000000000000004d2"
+	h, err := HexToHash(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Hex() != in {
+		t.Errorf("Hex() = %s, want %s", h.Hex(), in)
+	}
+}
+
+func TestBytesCopiesAreIndependent(t *testing.T) {
+	a := Address{1, 2, 3}
+	b := a.Bytes()
+	b[0] = 0xff
+	if a[0] != 1 {
+		t.Error("Address.Bytes aliases the underlying array")
+	}
+	h := Hash{4, 5, 6}
+	hb := h.Bytes()
+	hb[0] = 0xff
+	if h[0] != 4 {
+		t.Error("Hash.Bytes aliases the underlying array")
+	}
+}
+
+func TestQuickAddressRoundTrip(t *testing.T) {
+	f := func(raw [20]byte) bool {
+		a := BytesToAddress(raw[:])
+		back, err := HexToAddress(a.Hex())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package wallet implements the client-side software of SMACS (the paper's
+// web3.js role): key management, nonce tracking, and construction of signed
+// transactions with access tokens embedded in the calldata.
+package wallet
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/secp256k1"
+	"repro/internal/types"
+)
+
+// DefaultGasLimit is used when a call does not specify one.
+const DefaultGasLimit uint64 = 8_000_000
+
+// Wallet signs and submits transactions for one externally owned account.
+type Wallet struct {
+	key   *secp256k1.PrivateKey
+	chain *evm.Chain
+}
+
+// New creates a wallet for key operating against chain.
+func New(key *secp256k1.PrivateKey, chain *evm.Chain) *Wallet {
+	return &Wallet{key: key, chain: chain}
+}
+
+// FromSeed creates a wallet with a deterministic key (tests, examples).
+func FromSeed(seed string, chain *evm.Chain) *Wallet {
+	return New(secp256k1.PrivateKeyFromSeed([]byte(seed)), chain)
+}
+
+// Address returns the wallet's account address.
+func (w *Wallet) Address() types.Address { return w.key.Address() }
+
+// Key returns the wallet's private key (used when the client must prove
+// account ownership to a Token Service).
+func (w *Wallet) Key() *secp256k1.PrivateKey { return w.key }
+
+// CallOpts tweaks a transaction.
+type CallOpts struct {
+	// Value is the ether sent with the call (nil = 0).
+	Value *big.Int
+	// GasLimit caps execution gas (0 = DefaultGasLimit).
+	GasLimit uint64
+	// Tokens is the SMACS token array (§ IV-D ordering: one address-tagged
+	// entry per SMACS-enabled contract in the call chain).
+	Tokens [][]byte
+}
+
+// WithTokens builds CallOpts carrying the given parsed tokens, encoding
+// each with its target contract address tag.
+func WithTokens(entries ...TokenEntry) CallOpts {
+	opts := CallOpts{}
+	for _, e := range entries {
+		opts.Tokens = append(opts.Tokens, core.EncodeEntry(e.Contract, e.Token))
+	}
+	return opts
+}
+
+// TokenEntry pairs a token with the contract it authorizes.
+type TokenEntry struct {
+	// Contract is the SMACS-enabled contract address.
+	Contract types.Address
+	// Token is the access token issued by that contract's Token Service.
+	Token core.Token
+}
+
+// Call sends a signed method-call transaction and returns its receipt. The
+// nonce is read from the chain; the gas price is the chain's calibrated
+// price.
+func (w *Wallet) Call(to types.Address, method string, opts CallOpts, args ...any) (*evm.Receipt, error) {
+	tx, err := w.BuildTx(to, method, opts, args...)
+	if err != nil {
+		return nil, err
+	}
+	return w.chain.Apply(tx)
+}
+
+// BuildTx constructs and signs a transaction without submitting it (used by
+// tests that need to tamper with transactions).
+func (w *Wallet) BuildTx(to types.Address, method string, opts CallOpts, args ...any) (*evm.Transaction, error) {
+	gasLimit := opts.GasLimit
+	if gasLimit == 0 {
+		gasLimit = DefaultGasLimit
+	}
+	cfg := w.chain.Config()
+	tx := &evm.Transaction{
+		Nonce:    w.chain.NonceOf(w.Address()),
+		To:       to,
+		Value:    opts.Value,
+		GasLimit: gasLimit,
+		GasPrice: cfg.Price.Wei(1),
+		Method:   method,
+		Args:     args,
+		Tokens:   opts.Tokens,
+	}
+	if err := evm.SignTx(tx, w.key, cfg.ChainID); err != nil {
+		return nil, fmt.Errorf("wallet: %w", err)
+	}
+	return tx, nil
+}
+
+// Transfer sends plain ether.
+func (w *Wallet) Transfer(to types.Address, amount *big.Int) (*evm.Receipt, error) {
+	cfg := w.chain.Config()
+	tx := &evm.Transaction{
+		Nonce:    w.chain.NonceOf(w.Address()),
+		To:       to,
+		Value:    amount,
+		GasLimit: 21000,
+		GasPrice: cfg.Price.Wei(1),
+	}
+	if err := evm.SignTx(tx, w.key, cfg.ChainID); err != nil {
+		return nil, fmt.Errorf("wallet: %w", err)
+	}
+	return w.chain.Apply(tx)
+}

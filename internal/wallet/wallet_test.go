@@ -1,0 +1,114 @@
+package wallet_test
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evmtest"
+	"repro/internal/gas"
+	"repro/internal/secp256k1"
+	"repro/internal/types"
+	"repro/internal/wallet"
+)
+
+func TestBuildTxNonceTracking(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	w := env.Wallets[1]
+	to := env.Wallets[0].Address()
+
+	tx1, err := w.BuildTx(to, "", wallet.CallOpts{Value: big.NewInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx1.Nonce != 0 {
+		t.Errorf("first nonce = %d", tx1.Nonce)
+	}
+	if _, err := w.Transfer(to, big.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := w.BuildTx(to, "", wallet.CallOpts{Value: big.NewInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx2.Nonce != 1 {
+		t.Errorf("second nonce = %d, want 1", tx2.Nonce)
+	}
+}
+
+func TestBuildTxDefaults(t *testing.T) {
+	env := evmtest.NewEnv(t, 1)
+	w := env.Wallets[0]
+	tx, err := w.BuildTx(w.Address(), "", wallet.CallOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.GasLimit != wallet.DefaultGasLimit {
+		t.Errorf("gas limit = %d, want default %d", tx.GasLimit, wallet.DefaultGasLimit)
+	}
+	if tx.GasPrice.Cmp(env.Chain.Config().Price.Wei(1)) != 0 {
+		t.Errorf("gas price = %s", tx.GasPrice)
+	}
+	// The built transaction recovers to the wallet address.
+	sender, err := tx.Sender(env.Chain.Config().ChainID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != w.Address() {
+		t.Errorf("sender = %s, want %s", sender, w.Address())
+	}
+}
+
+func TestWithTokensEncoding(t *testing.T) {
+	key := secp256k1.PrivateKeyFromSeed([]byte("wt"))
+	contract := evmAddr(0x42)
+	tk, err := core.SignToken(key, core.SuperType, time.Now().Add(time.Hour),
+		core.NotOneTime, core.Binding{Origin: evmAddr(0x01), Contract: contract})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := wallet.WithTokens(wallet.TokenEntry{Contract: contract, Token: tk})
+	if len(opts.Tokens) != 1 {
+		t.Fatalf("tokens = %d entries", len(opts.Tokens))
+	}
+	entry := opts.Tokens[0]
+	if len(entry) != core.EntryLength {
+		t.Fatalf("entry length = %d, want %d", len(entry), core.EntryLength)
+	}
+	if !bytes.Equal(entry[:20], contract.Bytes()) {
+		t.Error("entry not tagged with the contract address")
+	}
+	back, err := core.TokenFor(opts.Tokens, contract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != core.SuperType {
+		t.Errorf("round-tripped token type = %s", back.Type)
+	}
+}
+
+func TestTransferGas(t *testing.T) {
+	env := evmtest.NewEnv(t, 2)
+	r, err := env.Wallets[0].Transfer(env.Wallets[1].Address(), big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GasUsed != gas.TxBase {
+		t.Errorf("transfer gas = %d, want %d", r.GasUsed, gas.TxBase)
+	}
+}
+
+func TestCallAgainstRejectedTx(t *testing.T) {
+	env := evmtest.NewEnv(t, 1)
+	w := env.Wallets[0]
+	// Unfunded second wallet cannot pay for gas.
+	broke := wallet.FromSeed("broke", env.Chain)
+	_, err := broke.Transfer(w.Address(), big.NewInt(1))
+	if err == nil {
+		t.Error("unfunded wallet sent a transaction")
+	}
+}
+
+func evmAddr(b byte) types.Address { return types.Address{b} }

@@ -1,0 +1,302 @@
+package smacs_test
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	smacs "repro"
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/gas"
+	"repro/internal/rtverify/ecf"
+	"repro/internal/secp256k1"
+)
+
+// env is the end-to-end test environment assembled purely through the
+// public facade.
+type env struct {
+	chain   *smacs.Chain
+	service *smacs.TokenService
+	owner   *smacs.Wallet
+	client  *smacs.Wallet
+	mallory *smacs.Wallet
+	target  smacs.Address
+	now     time.Time
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	e := &env{now: time.Date(2020, 3, 17, 12, 0, 0, 0, time.UTC)}
+	cfg := smacs.DefaultChainConfig()
+	cfg.Now = func() time.Time { return e.now }
+	e.chain = smacs.NewChain(cfg)
+
+	e.owner = smacs.NewWalletFromSeed("e2e owner", e.chain)
+	e.client = smacs.NewWalletFromSeed("e2e client", e.chain)
+	e.mallory = smacs.NewWalletFromSeed("e2e mallory", e.chain)
+	for _, w := range []*smacs.Wallet{e.owner, e.client, e.mallory} {
+		e.chain.Fund(w.Address(), smacs.Ether(1000))
+	}
+
+	tsKey := smacs.KeyFromSeed("e2e ts key")
+	service, err := smacs.NewTokenService(smacs.TokenServiceConfig{
+		Key: tsKey,
+		Now: cfg.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.service = service
+
+	verifier := smacs.NewVerifier(service.Address())
+	bm, err := smacs.NewBitmap(1024, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier.WithBitmap(bm)
+	protected := smacs.EnableContract(contracts.NewSimpleStorage(), verifier)
+	addr, _, err := e.chain.Deploy(e.owner.Address(), protected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.target = addr
+	return e
+}
+
+func (e *env) superToken(t *testing.T, who *smacs.Wallet, oneTime bool) smacs.CallOpts {
+	t.Helper()
+	tk, err := e.service.Issue(&smacs.TokenRequest{
+		Type:     smacs.SuperToken,
+		Contract: e.target,
+		Sender:   who.Address(),
+		OneTime:  oneTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return smacs.WithTokens(smacs.TokenEntry{Contract: e.target, Token: tk})
+}
+
+func TestEndToEndLifecycle(t *testing.T) {
+	e := newEnv(t)
+	opts := e.superToken(t, e.client, false)
+
+	r, err := e.client.Call(e.target, "set", opts, uint64(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Status {
+		t.Fatalf("protected set reverted: %v", r.Err)
+	}
+	r, err = e.client.Call(e.target, "get", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Return[0].(uint64); v != 99 {
+		t.Errorf("get = %d, want 99", v)
+	}
+	// The receipt carries the paper's cost breakdown.
+	if r.GasByCategory[gas.CatVerify] == 0 {
+		t.Error("no verification gas recorded")
+	}
+}
+
+func TestSecuritySubstitution(t *testing.T) {
+	// § VII-A(a): an intercepted token is useless from another account.
+	e := newEnv(t)
+	stolen := e.superToken(t, e.client, false)
+	r, err := e.mallory.Call(e.target, "set", stolen, uint64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status || !errors.Is(r.Err, core.ErrBadTokenSig) {
+		t.Errorf("substitution: status=%v err=%v", r.Status, r.Err)
+	}
+}
+
+func TestSecurityForgedToken(t *testing.T) {
+	// An adversary without skTS cannot mint valid tokens.
+	e := newEnv(t)
+	rogue := secp256k1.PrivateKeyFromSeed([]byte("rogue key"))
+	forged, err := core.SignToken(rogue, smacs.SuperToken, e.now.Add(time.Hour),
+		smacs.NotOneTime, smacs.Binding{Origin: e.mallory.Address(), Contract: e.target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smacs.WithTokens(smacs.TokenEntry{Contract: e.target, Token: forged})
+	r, err := e.mallory.Call(e.target, "set", opts, uint64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status || !errors.Is(r.Err, core.ErrBadTokenSig) {
+		t.Errorf("forged token: status=%v err=%v", r.Status, r.Err)
+	}
+}
+
+func TestSecurityTransactionReplay(t *testing.T) {
+	// § VII-A(b): Ethereum's nonce blocks byte-identical replays, and the
+	// bitmap blocks re-embedding a used one-time token in a new tx.
+	e := newEnv(t)
+	opts := e.superToken(t, e.client, true)
+
+	tx, err := e.client.BuildTx(e.target, "set", opts, uint64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.chain.Apply(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the identical transaction fails on the nonce.
+	if _, err := e.chain.Apply(tx); !errors.Is(err, evm.ErrNonceTooLow) {
+		t.Errorf("replay err = %v, want ErrNonceTooLow", err)
+	}
+	// A fresh transaction reusing the one-time token fails on the bitmap.
+	r, err := e.client.Call(e.target, "set", opts, uint64(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status || !errors.Is(r.Err, core.ErrTokenUsed) {
+		t.Errorf("token reuse: status=%v err=%v", r.Status, r.Err)
+	}
+}
+
+func TestSecurity51PercentReorg(t *testing.T) {
+	// § VII-A(c): a majority adversary can rewrite history (erase the
+	// client's transaction) but still cannot craft a valid token for a
+	// non-compliant transaction.
+	e := newEnv(t)
+	opts := e.superToken(t, e.client, false)
+	height := e.chain.Height()
+
+	r, err := e.client.Call(e.target, "set", opts, uint64(7))
+	if err != nil || !r.Status {
+		t.Fatalf("legitimate call failed: %v %v", err, r)
+	}
+
+	// The adversary rewrites history.
+	if err := e.chain.Reorg(height); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := e.chain.StaticCall(e.client.Address(), e.target, "get", nil, opts.Tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got[0].(uint64); v != 0 {
+		t.Fatalf("reorg did not erase the write: %d", v)
+	}
+
+	// Even controlling history, Mallory cannot bypass the access control:
+	// the stolen token still fails, and a forged one still fails.
+	stolen := opts
+	rr, err := e.mallory.Call(e.target, "set", stolen, uint64(666))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status {
+		t.Error("majority adversary bypassed SMACS with a stolen token")
+	}
+	// The legitimate client can simply re-submit.
+	rr, err = e.client.Call(e.target, "set", opts, uint64(7))
+	if err != nil || !rr.Status {
+		t.Fatalf("client resubmission failed: %v %v", err, rr)
+	}
+}
+
+func TestDynamicRuleUpdateBlocksClient(t *testing.T) {
+	// Examples 1-2: the owner flips the client from allowed to blocked
+	// without touching the deployed contract.
+	e := newEnv(t)
+	ruleSet := smacs.NewRuleSet()
+	ruleSet.SetSenderList(smacs.NewWhitelist(smacs.ValueKey(e.client.Address())))
+	e.service.ReplaceRules(ruleSet)
+
+	if _, err := e.service.Issue(&smacs.TokenRequest{
+		Type: smacs.SuperToken, Contract: e.target, Sender: e.client.Address(),
+	}); err != nil {
+		t.Fatalf("whitelisted client denied: %v", err)
+	}
+	ruleSet.RemoveSender(smacs.ValueKey(e.client.Address()))
+	if _, err := e.service.Issue(&smacs.TokenRequest{
+		Type: smacs.SuperToken, Contract: e.target, Sender: e.client.Address(),
+	}); err == nil {
+		t.Fatal("removed client still obtains tokens")
+	}
+}
+
+func TestECFBackedServiceBlocksFig7Attack(t *testing.T) {
+	// The § V-B end-to-end story through the facade: a TS with the ECF
+	// checker denies the attacker's withdraw token but serves the victim.
+	e := newEnv(t)
+
+	// Mirror testnet with the legacy bank, the victim's deposit, and the
+	// attacker's (publicly visible) contract.
+	mirror := smacs.NewChain(smacs.DefaultChainConfig())
+	mOwner := smacs.NewWalletFromSeed("mirror owner", mirror)
+	mVictim := smacs.NewWalletFromSeed("mirror victim", mirror)
+	mAttacker := smacs.NewWalletFromSeed("mirror attacker", mirror)
+	for _, w := range []*smacs.Wallet{mOwner, mVictim, mAttacker} {
+		mirror.Fund(w.Address(), smacs.Ether(100))
+	}
+	bankAddr, _, err := mirror.Deploy(mOwner.Address(), contracts.NewBank())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackerAddr, _, err := mirror.Deploy(mAttacker.Address(), contracts.NewAttacker(bankAddr, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := mVictim.Call(bankAddr, "addBalance", smacs.CallOpts{Value: big.NewInt(1e18)}); err != nil || !r.Status {
+		t.Fatalf("mirror deposit: %v %v", err, r)
+	}
+	if r, err := mAttacker.Call(attackerAddr, "deposit", smacs.CallOpts{Value: big.NewInt(2e17)}); err != nil || !r.Status {
+		t.Fatalf("mirror attacker deposit: %v %v", err, r)
+	}
+
+	e.service.AddValidator(ecf.New(mirror, bankAddr))
+
+	victimReq := &smacs.TokenRequest{
+		Type: smacs.ArgumentToken, Contract: bankAddr,
+		Sender: mVictim.Address(), Method: "withdraw",
+	}
+	if _, err := e.service.Issue(victimReq); err != nil {
+		t.Errorf("victim denied a withdraw token: %v", err)
+	}
+
+	attackerReq := &smacs.TokenRequest{
+		Type: smacs.ArgumentToken, Contract: bankAddr,
+		Sender: mAttacker.Address(), Method: "withdraw",
+	}
+	if _, err := e.service.Issue(attackerReq); err == nil {
+		t.Error("attacker obtained a withdraw token despite the ECF rule")
+	}
+}
+
+func TestExpiryThroughFacade(t *testing.T) {
+	e := newEnv(t)
+	opts := e.superToken(t, e.client, false)
+	e.now = e.now.Add(2 * time.Hour) // past the 1h default lifetime
+	r, err := e.client.Call(e.target, "set", opts, uint64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status || !errors.Is(r.Err, core.ErrTokenExpired) {
+		t.Errorf("expired: status=%v err=%v", r.Status, r.Err)
+	}
+}
+
+func TestServiceDiscoveryMetadata(t *testing.T) {
+	// § VII-B(b): the TS URL rides as contract metadata.
+	e := newEnv(t)
+	c, ok := e.chain.ContractAt(e.target)
+	if !ok {
+		t.Fatal("target contract missing")
+	}
+	c.SetMetadata("smacs.ts", "http://127.0.0.1:8546")
+	url, ok := c.Metadata("smacs.ts")
+	if !ok || url != "http://127.0.0.1:8546" {
+		t.Errorf("discovery metadata = %q, %v", url, ok)
+	}
+}
