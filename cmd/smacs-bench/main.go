@@ -1,5 +1,7 @@
 // Command smacs-bench regenerates the paper's evaluation tables and
-// figures (§ VI) and prints them in the paper's layout.
+// figures (§ VI) and prints them in the paper's layout, and runs the
+// concurrent-issuance load generator beyond the paper's single-threaded
+// measurements.
 //
 // Usage:
 //
@@ -9,6 +11,9 @@
 //	smacs-bench -figure 8        # Fig. 8 only (also: 9)
 //	smacs-bench -tools           # § VI-B runtime-verification throughput
 //	smacs-bench -baseline        # E7 on-chain whitelist baseline
+//	smacs-bench -mode load       # concurrent-issuance load sweep
+//	smacs-bench -mode load -workers 1,4,8 -duration 2s -warmup 250ms \
+//	    -batch 32 -csv out/load.csv
 package main
 
 import (
@@ -16,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -30,8 +38,30 @@ func main() {
 		all      = flag.Bool("all", false, "regenerate everything")
 		quick    = flag.Bool("quick", false, "smaller workloads (Fig. 9 to 10^3, baseline to 1000)")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of the paper-layout tables")
+
+		mode     = flag.String("mode", "", `"load" runs the concurrent-issuance load generator`)
+		workers  = flag.String("workers", "1,2,4,8", "load: comma-separated worker counts to sweep")
+		duration = flag.Duration("duration", 2*time.Second, "load: measured interval per cell")
+		warmup   = flag.Duration("warmup", 250*time.Millisecond, "load: unmeasured warmup per cell")
+		onetime  = flag.Bool("onetime", true, "load: request one-time tokens (exercises the counter)")
+		rtt      = flag.Duration("rtt", time.Millisecond, "load: modeled quorum round-trip per index allocation (0 = in-process counter)")
+		batch    = flag.Int("batch", 32, "load: requests per IssueBatch call in batch mode")
+		modes    = flag.String("modes", "", "load: comma-separated subset of locked,atomic,sharded,batch")
+		csvPath  = flag.String("csv", "", "load: also write the sweep as CSV to this path")
 	)
 	flag.Parse()
+
+	if *mode != "" {
+		if *mode != "load" {
+			fmt.Fprintf(os.Stderr, "smacs-bench: unknown -mode %q (supported: load)\n", *mode)
+			os.Exit(1)
+		}
+		if err := runLoad(*workers, *duration, *warmup, *onetime, *rtt, *batch, *modes, *csvPath, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "smacs-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if !*all && *table == 0 && *figure == 0 && !*tools && !*baseline && !*missrate {
 		*all = true
@@ -40,6 +70,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smacs-bench:", err)
 		os.Exit(1)
 	}
+}
+
+func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt time.Duration, batch int, modes, csvPath string, asJSON bool) error {
+	cfg := bench.LoadConfig{
+		Duration:  duration,
+		Warmup:    warmup,
+		OneTime:   onetime,
+		BatchSize: batch,
+		RTT:       rtt,
+	}
+	for _, part := range strings.Split(workers, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return fmt.Errorf("bad -workers entry %q: %w", part, err)
+		}
+		cfg.Workers = append(cfg.Workers, n)
+	}
+	if modes != "" {
+		for _, m := range strings.Split(modes, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				cfg.Modes = append(cfg.Modes, m)
+			}
+		}
+	}
+	res, err := bench.Load(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(enc))
+	} else {
+		fmt.Println(res.Format())
+	}
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(res.CSV()), 0o644); err != nil {
+			return fmt.Errorf("write CSV: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", csvPath)
+	}
+	return nil
 }
 
 func run(table, figure int, tools, baseline, missrate, all, quick, asJSON bool) error {

@@ -8,6 +8,9 @@
 //	Figure9      — Token Service throughput (Fig. 9 / E5)
 //	RuntimeTools — Hydra / ECFChecker request latency (§ VI-B / E6)
 //	Baseline     — on-chain whitelist baseline (§ II-B motivation / E7)
+//	Load         — concurrent-issuance load sweep (locked vs atomic vs
+//	               sharded vs batch pipelines; beyond the paper, see
+//	               docs/BENCHMARKS.md)
 //
 // Each function returns a structured result with a Format method printing
 // the same rows/series the paper reports. cmd/smacs-bench is the CLI front

@@ -1,0 +1,363 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/secp256k1"
+	"repro/internal/ts"
+	"repro/internal/types"
+)
+
+// LoadModes are the issuance pipelines the load generator compares:
+//
+//	locked  — one mutex held across the whole issuance: a coarse-grained
+//	          reference baseline (what a naively thread-safe service
+//	          does; the pre-refactor service serialized only its stats
+//	          and rule-snapshot accesses, not the full path)
+//	atomic  — the lock-free Service with the single-mutex LocalCounter
+//	sharded — the lock-free Service with a ShardedCounter leasing index
+//	          blocks per shard
+//	batch   — the sharded Service driven through Service.IssueBatch in
+//	          groups of LoadConfig.BatchSize requests
+var LoadModes = []string{"locked", "atomic", "sharded", "batch"}
+
+// LoadConfig parameterizes the closed-loop load generator.
+type LoadConfig struct {
+	// Workers are the concurrent issuer counts to sweep (e.g. 1, 4, 8).
+	Workers []int `json:"workers"`
+	// Duration is the measured interval per mode × worker-count cell.
+	Duration time.Duration `json:"duration"`
+	// Warmup runs the same load unmeasured before each cell.
+	Warmup time.Duration `json:"warmup"`
+	// OneTime requests the one-time property, exercising the counter —
+	// the contended resource the sharded pipeline exists for.
+	OneTime bool `json:"oneTime"`
+	// BatchSize is the requests per IssueBatch call in batch mode.
+	BatchSize int `json:"batchSize"`
+	// RTT models the § VII-B replicated-counter deployment: every index
+	// allocation is a quorum round costing one round-trip of this length
+	// (rounds serialize — any two majorities intersect). 0 benchmarks the
+	// single-instance in-process counter instead.
+	RTT time.Duration `json:"rtt"`
+	// Modes restricts the sweep (nil = all of LoadModes).
+	Modes []string `json:"modes,omitempty"`
+}
+
+// DefaultLoadConfig returns the sweep the BENCHMARKS.md table uses.
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{
+		Workers:   []int{1, 2, 4, 8},
+		Duration:  2 * time.Second,
+		Warmup:    250 * time.Millisecond,
+		OneTime:   true,
+		BatchSize: 32,
+		RTT:       time.Millisecond,
+	}
+}
+
+// LoadRow is one cell of the sweep: a mode at a worker count. The
+// latency percentiles are per issuing call — one request in the locked/
+// atomic/sharded modes, one whole batch in batch mode.
+type LoadRow struct {
+	Mode       string  `json:"mode"`
+	Workers    int     `json:"workers"`
+	Requests   uint64  `json:"requests"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"reqPerSec"`
+	P50Micros  float64 `json:"p50Micros"`
+	P95Micros  float64 `json:"p95Micros"`
+	P99Micros  float64 `json:"p99Micros"`
+}
+
+// LoadResult is the full sweep.
+type LoadResult struct {
+	Config LoadConfig `json:"config"`
+	Rows   []LoadRow  `json:"rows"`
+}
+
+// loadRequest is the canonical request of the load benchmark: a one-time
+// (configurable) method token, the shape a wallet requests per
+// transaction.
+func loadRequest(oneTime bool) *core.Request {
+	return &core.Request{
+		Type:     core.MethodType,
+		Contract: types.Address{0x01},
+		Sender:   types.Address{0xc1},
+		Method:   actSignature,
+		OneTime:  oneTime,
+	}
+}
+
+// issuer turns a fresh request into tokens; it reports how many requests
+// one call covers so batch mode amortizes correctly.
+type issuer struct {
+	// perCall is the number of requests one issue() covers.
+	perCall int
+	issue   func() error
+}
+
+// newLoadService builds a fresh lock-free service for one cell.
+func newLoadService(counter ts.Counter) (*ts.Service, error) {
+	return ts.New(ts.Config{
+		Key:     secp256k1.PrivateKeyFromSeed([]byte("load ts key")),
+		Counter: counter,
+	})
+}
+
+// rttCounter models one frontend of the replicated counter of § VII-B:
+// every allocation is a quorum round costing one round-trip, and rounds
+// serialize because any two majorities intersect (concurrent proposers
+// retry until they win a round). With RTT 0 it degenerates to
+// LocalCounter.
+type rttCounter struct {
+	mu  sync.Mutex
+	rtt time.Duration
+	n   int64
+}
+
+func (c *rttCounter) Next() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rtt > 0 {
+		time.Sleep(c.rtt)
+	}
+	c.n++
+	return c.n, nil
+}
+
+// leaseBlockSize is how many one-time indexes a shard leases per
+// underlying allocation in the sharded and batch modes.
+const leaseBlockSize = 64
+
+func newIssuer(mode string, cfg LoadConfig, workers int) (*issuer, error) {
+	req := loadRequest(cfg.OneTime)
+	switch mode {
+	case "locked":
+		svc, err := newLoadService(&rttCounter{rtt: cfg.RTT})
+		if err != nil {
+			return nil, err
+		}
+		var mu sync.Mutex
+		return &issuer{perCall: 1, issue: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			_, err := svc.Issue(req)
+			return err
+		}}, nil
+	case "atomic":
+		svc, err := newLoadService(&rttCounter{rtt: cfg.RTT})
+		if err != nil {
+			return nil, err
+		}
+		return &issuer{perCall: 1, issue: func() error {
+			_, err := svc.Issue(req)
+			return err
+		}}, nil
+	case "sharded":
+		counter, err := ts.NewShardedCounter(&rttCounter{rtt: cfg.RTT}, workers, leaseBlockSize)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := newLoadService(counter)
+		if err != nil {
+			return nil, err
+		}
+		return &issuer{perCall: 1, issue: func() error {
+			_, err := svc.Issue(req)
+			return err
+		}}, nil
+	case "batch":
+		counter, err := ts.NewShardedCounter(&rttCounter{rtt: cfg.RTT}, workers, leaseBlockSize)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := newLoadService(counter)
+		if err != nil {
+			return nil, err
+		}
+		size := cfg.BatchSize
+		if size < 1 {
+			size = 1
+		}
+		reqs := make([]*core.Request, size)
+		for i := range reqs {
+			reqs[i] = req
+		}
+		return &issuer{perCall: size, issue: func() error {
+			for _, res := range svc.IssueBatch(reqs) {
+				if res.Err != nil {
+					return res.Err
+				}
+			}
+			return nil
+		}}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown load mode %q", mode)
+	}
+}
+
+// Load runs the closed-loop sweep: for every mode × worker count, workers
+// issue back-to-back requests for cfg.Duration (after cfg.Warmup) and the
+// generator records throughput and per-request latency percentiles.
+func Load(cfg LoadConfig) (*LoadResult, error) {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = DefaultLoadConfig().Workers
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = DefaultLoadConfig().Duration
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = DefaultLoadConfig().BatchSize
+	}
+	modes := cfg.Modes
+	if len(modes) == 0 {
+		modes = LoadModes
+	}
+	// Reject unknown modes and worker counts before any cell runs, so a
+	// typo cannot discard minutes of completed measurements.
+	for _, mode := range modes {
+		known := false
+		for _, m := range LoadModes {
+			known = known || m == mode
+		}
+		if !known {
+			return nil, fmt.Errorf("bench: unknown load mode %q (supported: %s)", mode, strings.Join(LoadModes, ", "))
+		}
+	}
+	for _, workers := range cfg.Workers {
+		if workers < 1 {
+			return nil, fmt.Errorf("bench: worker count must be positive, got %d", workers)
+		}
+	}
+	res := &LoadResult{Config: cfg}
+	for _, mode := range modes {
+		for _, workers := range cfg.Workers {
+			row, err := runCell(mode, cfg, workers)
+			if err != nil {
+				return nil, fmt.Errorf("load %s ×%d: %w", mode, workers, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func runCell(mode string, cfg LoadConfig, workers int) (LoadRow, error) {
+	is, err := newIssuer(mode, cfg, workers)
+	if err != nil {
+		return LoadRow{}, err
+	}
+	if cfg.Warmup > 0 {
+		if err := drive(is, workers, cfg.Warmup, nil); err != nil {
+			return LoadRow{}, err
+		}
+	}
+	latencies := make([][]time.Duration, workers)
+	start := time.Now()
+	if err := drive(is, workers, cfg.Duration, latencies); err != nil {
+		return LoadRow{}, err
+	}
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	var requests uint64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+		requests += uint64(len(ls)) * uint64(is.perCall)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	// Percentiles are per issuing call: one request in the single-request
+	// modes, one whole BatchSize-request round in batch mode (dividing by
+	// the batch size would understate what any caller actually waited,
+	// since the batch executes concurrently).
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return float64(all[i].Microseconds())
+	}
+	return LoadRow{
+		Mode:       mode,
+		Workers:    workers,
+		Requests:   requests,
+		Seconds:    elapsed.Seconds(),
+		Throughput: float64(requests) / elapsed.Seconds(),
+		P50Micros:  pct(0.50),
+		P95Micros:  pct(0.95),
+		P99Micros:  pct(0.99),
+	}, nil
+}
+
+// drive runs workers issuing back-to-back calls for d. When latencies is
+// non-nil, worker w appends one sample per call to latencies[w].
+func drive(is *issuer, workers int, d time.Duration, latencies [][]time.Duration) error {
+	var stop atomic.Bool
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				t0 := time.Now()
+				if err := is.issue(); err != nil {
+					errs[w] = err
+					return
+				}
+				if latencies != nil {
+					latencies[w] = append(latencies[w], time.Since(t0))
+				}
+			}
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Format renders the sweep as the locked-vs-atomic-vs-sharded-vs-batch
+// table of docs/BENCHMARKS.md.
+func (r *LoadResult) Format() string {
+	var b strings.Builder
+	onetime := "off"
+	if r.Config.OneTime {
+		onetime = "on"
+	}
+	fmt.Fprintf(&b, "Token Service issuance under concurrent load (one-time %s, counter RTT %s, batch size %d, %s per cell)\n",
+		onetime, r.Config.RTT, r.Config.BatchSize, r.Config.Duration)
+	fmt.Fprintf(&b, "Latency percentiles are per issuing call: batch rows time one %d-request round.\n",
+		r.Config.BatchSize)
+	fmt.Fprintf(&b, "  %-8s %8s %10s %12s %10s %10s %10s\n",
+		"mode", "workers", "requests", "req/s", "p50 µs", "p95 µs", "p99 µs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-8s %8d %10d %12.0f %10.1f %10.1f %10.1f\n",
+			row.Mode, row.Workers, row.Requests, row.Throughput,
+			row.P50Micros, row.P95Micros, row.P99Micros)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as machine-readable rows (one line per cell).
+func (r *LoadResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("mode,workers,requests,seconds,req_per_sec,p50_us,p95_us,p99_us\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.0f,%.1f,%.1f,%.1f\n",
+			row.Mode, row.Workers, row.Requests, row.Seconds,
+			row.Throughput, row.P50Micros, row.P95Micros, row.P99Micros)
+	}
+	return b.String()
+}

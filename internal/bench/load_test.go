@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadSweepSmoke(t *testing.T) {
+	cfg := LoadConfig{
+		Workers:   []int{1, 2},
+		Duration:  30 * time.Millisecond,
+		Warmup:    5 * time.Millisecond,
+		OneTime:   true,
+		BatchSize: 4,
+	}
+	res, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(LoadModes) * len(cfg.Workers); len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if row.Requests == 0 || row.Throughput <= 0 {
+			t.Errorf("%s ×%d: empty cell %+v", row.Mode, row.Workers, row)
+		}
+		if row.P50Micros <= 0 || row.P99Micros < row.P50Micros {
+			t.Errorf("%s ×%d: implausible percentiles %+v", row.Mode, row.Workers, row)
+		}
+	}
+	if !strings.Contains(res.Format(), "req/s") {
+		t.Error("Format() missing header")
+	}
+	csv := res.CSV()
+	if lines := strings.Count(csv, "\n"); lines != len(res.Rows)+1 {
+		t.Errorf("CSV has %d lines, want %d", lines, len(res.Rows)+1)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(LoadConfig{Workers: []int{0}, Duration: time.Millisecond}); err == nil {
+		t.Error("worker count 0 accepted")
+	}
+	if _, err := Load(LoadConfig{Workers: []int{1}, Duration: time.Millisecond, Modes: []string{"bogus"}}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -35,7 +36,11 @@ type Validator interface {
 // Counter allocates one-time-token indexes. The paper requires replicated
 // TSes to coordinate on it (§ VII-B); see the replica subpackage.
 type Counter interface {
-	// Next returns the next unused index (strictly increasing).
+	// Next returns a never-before-issued index ≥ 1. LocalCounter and
+	// replica.QuorumCounter are strictly increasing; ShardedCounter is
+	// increasing only within a shard, with a bounded spread that the
+	// one-time bitmap sizing must budget for (see
+	// ShardedCounter.MaxSpread).
 	Next() (int64, error)
 }
 
@@ -84,20 +89,25 @@ type Config struct {
 	RequireProof bool
 }
 
-// Service issues SMACS tokens.
+// Service issues SMACS tokens. The issuance hot path is lock-free: rules
+// and validators are swapped through atomic pointers and the stats are
+// atomic counters, so concurrent Issue calls never serialize on a service
+// mutex (one-time index allocation contends only inside the configured
+// Counter — see ShardedCounter).
 type Service struct {
-	mu           sync.RWMutex
 	key          *secp256k1.PrivateKey
 	contract     types.Address
-	rules        *rules.RuleSet
 	lifetime     time.Duration
 	counter      Counter
 	now          func() time.Time
 	requireProof bool
-	validators   []Validator
 
-	issued   uint64
-	rejected uint64
+	rules      atomic.Pointer[rules.RuleSet]
+	validators atomic.Pointer[[]Validator]
+	writerMu   sync.Mutex // serializes AddValidator copy-on-write appends
+
+	issued   atomic.Uint64
+	rejected atomic.Uint64
 }
 
 // New creates a Token Service from cfg.
@@ -108,15 +118,17 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		key:          cfg.Key,
 		contract:     cfg.Contract,
-		rules:        cfg.Rules,
 		lifetime:     cfg.Lifetime,
 		counter:      cfg.Counter,
 		now:          cfg.Now,
 		requireProof: cfg.RequireProof,
 	}
-	if s.rules == nil {
-		s.rules = rules.NewRuleSet()
+	rs := cfg.Rules
+	if rs == nil {
+		rs = rules.NewRuleSet()
 	}
+	s.rules.Store(rs)
+	s.validators.Store(new([]Validator))
 	if s.lifetime == 0 {
 		s.lifetime = DefaultTokenLifetime
 	}
@@ -135,49 +147,85 @@ func (s *Service) Address() types.Address { return s.key.Address() }
 
 // Rules returns the live rule set; it is internally synchronized, so the
 // owner can update it while the service runs.
-func (s *Service) Rules() *rules.RuleSet { return s.rules }
+func (s *Service) Rules() *rules.RuleSet { return s.rules.Load() }
 
 // ReplaceRules atomically swaps in a new rule set.
 func (s *Service) ReplaceRules(rs *rules.RuleSet) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if rs == nil {
 		rs = rules.NewRuleSet()
 	}
-	s.rules = rs
+	s.rules.Store(rs)
 }
 
 // AddValidator plugs a runtime-verification tool into the validation
 // module. Validators run (in registration order) for every compliant
-// argument-token request.
+// argument-token request. The validator list is copy-on-write, so
+// registration never blocks in-flight issuance.
 func (s *Service) AddValidator(v Validator) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.validators = append(s.validators, v)
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	old := *s.validators.Load()
+	next := make([]Validator, len(old)+1)
+	copy(next, old)
+	next[len(old)] = v
+	s.validators.Store(&next)
 }
 
 // Lifetime returns the configured token lifetime.
 func (s *Service) Lifetime() time.Duration { return s.lifetime }
 
-// Stats reports how many requests were issued and rejected.
+// Stats reports how many requests were issued and rejected. Each counter
+// is monotonic, but the pair is read without a lock, so under concurrent
+// issuance the two values may be offset by in-flight requests — treat
+// sums and ratios across them as approximate.
 func (s *Service) Stats() (issued, rejected uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.issued, s.rejected
+	return s.issued.Load(), s.rejected.Load()
 }
 
 // Issue validates a token request and, if it complies with the ACRs and
 // every validator approves, returns a freshly signed token (§ IV-B a).
+// Issue is safe for concurrent use and does not serialize on the service.
 func (s *Service) Issue(req *core.Request) (core.Token, error) {
 	tk, err := s.issue(req)
-	s.mu.Lock()
 	if err != nil {
-		s.rejected++
+		s.rejected.Add(1)
 	} else {
-		s.issued++
+		s.issued.Add(1)
 	}
-	s.mu.Unlock()
 	return tk, err
+}
+
+// Result pairs one issuance outcome of a batch: exactly one of Token and
+// Err is meaningful.
+type Result struct {
+	Token core.Token
+	Err   error
+}
+
+// maxBatchConcurrency bounds the goroutines one IssueBatch call spawns:
+// enough to overlap validator and counter waits, small enough that
+// concurrent batches do not multiply into scheduler thrash.
+const maxBatchConcurrency = 32
+
+// IssueBatch issues tokens for all requests concurrently (bounded by
+// maxBatchConcurrency) and returns one Result per request, in order. A
+// rejected request does not fail the batch; its slot carries the error.
+// This is the amortized path behind tshttp's POST /v1/tokens endpoint.
+func (s *Service) IssueBatch(reqs []*core.Request) []Result {
+	results := make([]Result, len(reqs))
+	sem := make(chan struct{}, maxBatchConcurrency)
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, req *core.Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i].Token, results[i].Err = s.Issue(req)
+		}(i, req)
+	}
+	wg.Wait()
+	return results
 }
 
 func (s *Service) issue(req *core.Request) (core.Token, error) {
@@ -193,10 +241,8 @@ func (s *Service) issue(req *core.Request) (core.Token, error) {
 		}
 	}
 
-	s.mu.RLock()
-	ruleSet := s.rules
-	validators := s.validators
-	s.mu.RUnlock()
+	ruleSet := s.rules.Load()
+	validators := *s.validators.Load()
 
 	if err := ruleSet.Check(req); err != nil {
 		return core.Token{}, err

@@ -1,0 +1,105 @@
+package ts
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/types"
+)
+
+// TestIssueParallelOneTime hammers Issue from many goroutines (run with
+// -race) and checks every one-time token got a unique index while the
+// owner concurrently swaps rules and registers validators.
+func TestIssueParallelOneTime(t *testing.T) {
+	counter, err := NewShardedCounter(nil, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newService(t, Config{Counter: counter})
+
+	const workers = 16
+	const perWorker = 200
+	indexes := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			req := &core.Request{Type: core.SuperType, Contract: target, Sender: client, OneTime: true}
+			for i := 0; i < perWorker; i++ {
+				tk, err := s.Issue(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				indexes[w] = append(indexes[w], tk.Index)
+			}
+		}(w)
+	}
+	// Concurrent administration must not block or race issuance.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.ReplaceRules(rules.NewRuleSet())
+			s.AddValidator(approver{})
+			_ = s.Rules()
+			_, _ = s.Stats()
+		}
+	}()
+	wg.Wait()
+
+	seen := make(map[int64]bool, workers*perWorker)
+	for _, ws := range indexes {
+		for _, n := range ws {
+			if seen[n] {
+				t.Fatalf("one-time index %d issued twice", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("got %d unique indexes, want %d", len(seen), workers*perWorker)
+	}
+	issued, rejected := s.Stats()
+	if issued != workers*perWorker || rejected != 0 {
+		t.Errorf("stats = (%d, %d), want (%d, 0)", issued, rejected, workers*perWorker)
+	}
+}
+
+// approver is a validator that always approves.
+type approver struct{}
+
+func (approver) Name() string                     { return "approver" }
+func (approver) Validate(req *core.Request) error { return nil }
+
+func TestIssueBatchMixedResults(t *testing.T) {
+	rs := rules.NewRuleSet()
+	rs.SetSenderList(rules.NewList(rules.Whitelist, core.ValueKey(client)))
+	s := newService(t, Config{Rules: rs})
+
+	good := &core.Request{Type: core.SuperType, Contract: target, Sender: client, OneTime: true}
+	results := s.IssueBatch([]*core.Request{
+		good,
+		{Type: core.SuperType, Contract: target, Sender: types.Address{0xbb}},
+		good,
+	})
+	if len(results) != 3 {
+		t.Fatalf("len(results) = %d", len(results))
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("whitelisted slots failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("non-whitelisted slot issued")
+	}
+	if results[0].Token.Index == results[2].Token.Index {
+		t.Error("batch issued duplicate one-time indexes")
+	}
+	issued, rejected := s.Stats()
+	if issued != 2 || rejected != 1 {
+		t.Errorf("stats = (%d, %d), want (2, 1)", issued, rejected)
+	}
+}

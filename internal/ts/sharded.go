@@ -1,0 +1,96 @@
+package ts
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedCounter allocates one-time-token indexes from per-shard leased
+// blocks, so concurrent requests almost never contend on a single mutex
+// (the scaling bottleneck of LocalCounter under parallel issuance).
+//
+// Each shard holds a lease on a disjoint block of blockSize consecutive
+// indexes carved out of the space of an underlying Counter: one Next call
+// on the underlying counter yields block id b, which owns indexes
+// (b-1)*blockSize+1 .. b*blockSize. Because the underlying counter hands
+// out unique block ids, blocks — and therefore all indexes — are unique
+// across shards, across ShardedCounters sharing the underlying counter,
+// and across replicated services driving a replica.QuorumCounter.
+//
+// Indexes are unique and strictly increasing within a shard, but NOT
+// globally ordered: at any moment the issued indexes can span up to
+// MaxSpread positions. The on-chain bitmap of § IV-C is a sliding
+// window — redeeming a far-ahead index advances it and permanently
+// rejects indexes that fall behind — so a contract served by a sharded
+// counter must size its bitmap as core.SizeFor(lifetime, rate) +
+// MaxSpread. The spread bound relies on the round-robin picker feeding
+// all shards evenly; it also assumes this counter's traffic keeps
+// flowing (a ShardedCounter that goes idle forever while others share
+// the same underlying counter can hold leased-but-unissued indexes
+// arbitrarily far behind).
+type ShardedCounter struct {
+	underlying Counter
+	blockSize  int64
+	shards     []shard
+	pick       atomic.Uint64
+}
+
+// shard is one lease holder. The mutex only guards lease refills and the
+// handful of requests that race on the same shard; with shards ≥ GOMAXPROCS
+// it is effectively uncontended.
+type shard struct {
+	mu   sync.Mutex
+	next int64    // next index to hand out, 0 = no lease yet
+	end  int64    // last index of the current lease (inclusive)
+	_    [40]byte // pad to a cache line so shards don't false-share
+}
+
+// NewShardedCounter shards the index space of underlying across the given
+// number of shards, leasing blockSize indexes at a time. A nil underlying
+// uses a fresh LocalCounter. shards and blockSize must be positive;
+// shards ≈ GOMAXPROCS and blockSize ≈ 64 work well in practice.
+func NewShardedCounter(underlying Counter, shards, blockSize int) (*ShardedCounter, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("ts: shard count must be positive, got %d", shards)
+	}
+	if blockSize < 1 {
+		return nil, fmt.Errorf("ts: block size must be positive, got %d", blockSize)
+	}
+	if underlying == nil {
+		underlying = &LocalCounter{}
+	}
+	return &ShardedCounter{
+		underlying: underlying,
+		blockSize:  int64(blockSize),
+		shards:     make([]shard, shards),
+	}, nil
+}
+
+// MaxSpread returns the largest distance between the lowest
+// still-unissued index held in a lease and the highest issued index:
+// shards × blockSize. Add it to core.SizeFor when sizing the contract's
+// one-time bitmap, so no fresh token is pushed out of the window by a
+// token from a newer block.
+func (c *ShardedCounter) MaxSpread() int64 {
+	return int64(len(c.shards)) * c.blockSize
+}
+
+// Next implements Counter: it returns an index unique across all shards
+// (and all counters sharing the same underlying counter).
+func (c *ShardedCounter) Next() (int64, error) {
+	sh := &c.shards[c.pick.Add(1)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.next == 0 || sh.next > sh.end {
+		block, err := c.underlying.Next()
+		if err != nil {
+			return 0, fmt.Errorf("ts: lease index block: %w", err)
+		}
+		sh.next = (block-1)*c.blockSize + 1
+		sh.end = block * c.blockSize
+	}
+	n := sh.next
+	sh.next++
+	return n, nil
+}

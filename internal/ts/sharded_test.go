@@ -1,0 +1,153 @@
+package ts
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/ts/replica"
+)
+
+func TestShardedCounterRejectsBadParameters(t *testing.T) {
+	if _, err := NewShardedCounter(nil, 0, 64); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if _, err := NewShardedCounter(nil, -1, 64); err == nil {
+		t.Error("shards=-1 accepted")
+	}
+	if _, err := NewShardedCounter(nil, 4, 0); err == nil {
+		t.Error("blockSize=0 accepted")
+	}
+}
+
+// collectConcurrent drains n indexes from c with the given parallelism
+// and fails the test on any duplicate.
+func collectConcurrent(t *testing.T, c Counter, workers, perWorker int) map[int64]bool {
+	t.Helper()
+	var mu sync.Mutex
+	seen := make(map[int64]bool, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				n, err := c.Next()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				local = append(local, n)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, n := range local {
+				if n < 1 {
+					t.Errorf("index %d < 1", n)
+				}
+				if seen[n] {
+					t.Errorf("index %d allocated twice", n)
+				}
+				seen[n] = true
+			}
+		}()
+	}
+	wg.Wait()
+	return seen
+}
+
+func TestShardedCounterUniqueUnderConcurrency(t *testing.T) {
+	c, err := NewShardedCounter(nil, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := collectConcurrent(t, c, 16, 500)
+	if len(seen) != 16*500 {
+		t.Errorf("got %d unique indexes, want %d", len(seen), 16*500)
+	}
+}
+
+func TestShardedCountersShareUnderlyingSpace(t *testing.T) {
+	// Two sharded frontends over one underlying counter — the multi-TS
+	// deployment — must still never collide.
+	underlying := &LocalCounter{}
+	a, err := NewShardedCounter(underlying, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewShardedCounter(underlying, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := collectConcurrent(t, a, 8, 200)
+	for n := range collectConcurrent(t, b, 8, 200) {
+		if seen[n] {
+			t.Errorf("index %d allocated by both frontends", n)
+		}
+	}
+}
+
+// TestShardedCounterSpreadBound checks the documented bitmap-sizing
+// contract: every issued index stays within MaxSpread of the highest
+// index issued so far, so a bitmap with MaxSpread slack never slides a
+// fresh index out of its window.
+func TestShardedCounterSpreadBound(t *testing.T) {
+	c, err := NewShardedCounter(nil, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxSpread(); got != 8*16 {
+		t.Fatalf("MaxSpread() = %d, want %d", got, 8*16)
+	}
+	var maxSeen int64
+	for i := 0; i < 5000; i++ {
+		n, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n <= maxSeen-c.MaxSpread() {
+			t.Fatalf("allocation %d: index %d is %d behind max %d, beyond MaxSpread %d",
+				i, n, maxSeen-n, maxSeen, c.MaxSpread())
+		}
+		if n > maxSeen {
+			maxSeen = n
+		}
+	}
+}
+
+func TestShardedCounterOverQuorumCounter(t *testing.T) {
+	cluster, err := replica.NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewShardedCounter(cluster.Counter(), 4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collectConcurrent(t, c, 8, 100)
+}
+
+func TestShardedCounterPropagatesUnderlyingErrors(t *testing.T) {
+	cluster, err := replica.NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewShardedCounter(cluster.Counter(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Kill(0)
+	cluster.Kill(1)
+	// The current lease still has one index; after it drains, the next
+	// lease must surface ErrNoQuorum.
+	if _, err := c.Next(); err != nil {
+		t.Fatalf("leased index after partial crash: %v", err)
+	}
+	if _, err := c.Next(); !errors.Is(err, replica.ErrNoQuorum) {
+		t.Errorf("err = %v, want ErrNoQuorum", err)
+	}
+}

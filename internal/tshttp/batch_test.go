@@ -1,0 +1,137 @@
+package tshttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rules"
+	"repro/internal/types"
+)
+
+func TestBatchTokenRoundTrip(t *testing.T) {
+	srv, svc := newTestServer(t, "")
+	client := NewClient(srv.URL, "")
+
+	const n = 10
+	reqs := make([]*core.Request, n)
+	for i := range reqs {
+		reqs[i] = &core.Request{Type: core.SuperType, Contract: httpDst, Sender: httpCli, OneTime: true}
+	}
+	results, err := client.RequestTokens(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n {
+		t.Fatalf("len(results) = %d, want %d", len(results), n)
+	}
+	seen := make(map[int64]bool, n)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("slot %d: %v", i, res.Err)
+		}
+		if err := res.Token.VerifySignature(svc.Address(), core.Binding{Origin: httpCli, Contract: httpDst}); err != nil {
+			t.Errorf("slot %d token does not verify: %v", i, err)
+		}
+		if seen[res.Token.Index] {
+			t.Errorf("slot %d: duplicate one-time index %d", i, res.Token.Index)
+		}
+		seen[res.Token.Index] = true
+	}
+	issued, rejected := svc.Stats()
+	if issued != n || rejected != 0 {
+		t.Errorf("stats = (%d, %d), want (%d, 0)", issued, rejected, n)
+	}
+}
+
+func TestBatchMixedSlots(t *testing.T) {
+	rs := rules.NewRuleSet()
+	rs.SetSenderList(rules.NewList(rules.Whitelist, core.ValueKey(httpCli)))
+	srv, svc := newTestServer(t, "")
+	svc.ReplaceRules(rs)
+	client := NewClient(srv.URL, "")
+
+	results, err := client.RequestTokens([]*core.Request{
+		{Type: core.SuperType, Contract: httpDst, Sender: httpCli},
+		{Type: core.SuperType, Contract: httpDst, Sender: types.Address{0xbb}},
+		{Type: core.MethodType, Contract: httpDst, Sender: httpCli, Method: "transfer(address,uint256)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("whitelisted slots failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("non-whitelisted slot issued a token")
+	} else if !strings.Contains(results[1].Err.Error(), "denied") {
+		t.Errorf("slot 1 error = %v", results[1].Err)
+	}
+}
+
+func TestBatchMalformedSlotDoesNotFailBatch(t *testing.T) {
+	srv, _ := newTestServer(t, "")
+
+	// A slot with an unparseable address must carry its own error while
+	// the rest of the batch issues.
+	body, _ := json.Marshal(WireBatchRequest{Requests: []WireRequest{
+		{Type: "super", Contract: httpDst.Hex(), Sender: httpCli.Hex()},
+		{Type: "super", Contract: "not-an-address", Sender: httpCli.Hex()},
+	}})
+	resp, err := http.Post(srv.URL+"/v1/tokens", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var wr WireBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Results) != 2 {
+		t.Fatalf("len(results) = %d", len(wr.Results))
+	}
+	if wr.Results[0].Token == nil || wr.Results[0].Error != "" {
+		t.Errorf("slot 0 = %+v, want token", wr.Results[0])
+	}
+	if wr.Results[1].Token != nil || wr.Results[1].Error == "" {
+		t.Errorf("slot 1 = %+v, want error", wr.Results[1])
+	}
+}
+
+func TestBatchLimits(t *testing.T) {
+	srv, _ := newTestServer(t, "")
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/tokens", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(`{"requests":[]}`); got != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d", got)
+	}
+	if got := post(`{"requests"`); got != http.StatusBadRequest {
+		t.Errorf("bad JSON: status = %d", got)
+	}
+	var b strings.Builder
+	b.WriteString(`{"requests":[`)
+	for i := 0; i <= maxBatchSize; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"type":"super","contract":"%s","sender":"%s"}`, httpDst.Hex(), httpCli.Hex())
+	}
+	b.WriteString(`]}`)
+	if got := post(b.String()); got != http.StatusBadRequest {
+		t.Errorf("oversized batch: status = %d", got)
+	}
+}

@@ -2,33 +2,82 @@ package tshttp
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/rules"
+	"repro/internal/ts"
 )
 
 // Client talks to a Token Service over HTTP. This is the piece a wallet
 // integrates so token acquisition happens "seamlessly for users prior to
-// actual transaction sending" (§ IV-B).
+// actual transaction sending" (§ IV-B). It keeps connections alive across
+// requests, so a token per transaction does not cost a TCP (and, in
+// production, TLS) handshake per transaction.
 type Client struct {
-	base  string
-	http  *http.Client
+	base string
+	http *http.Client
+	// batch shares http's transport (and connection pool) but carries no
+	// client-wide timeout: batch calls are bounded per call by a context
+	// scaled to the batch size, which Client.Timeout would otherwise cap
+	// at the single-request budget.
+	batch *http.Client
 	owner string
 }
+
+// singleTimeout bounds one-request calls; batch calls extend it by
+// batchSlotTimeout per submitted request, since the server may run
+// proof checks, validators, and counter rounds for every slot.
+const (
+	singleTimeout    = 10 * time.Second
+	batchSlotTimeout = 100 * time.Millisecond
+)
 
 // NewClient creates a client for the service at base (e.g.
 // "http://127.0.0.1:8546"). ownerToken may be empty for pure clients.
 func NewClient(base string, ownerToken string) *Client {
+	// Clone the default transport when possible (keeping proxy and TLS
+	// defaults); a host application may have replaced it with another
+	// RoundTripper, in which case start from a fresh Transport.
+	transport, ok := http.DefaultTransport.(*http.Transport)
+	if ok {
+		transport = transport.Clone()
+	} else {
+		transport = &http.Transport{}
+	}
+	// The default per-host idle cap (2) throttles concurrent wallets and
+	// load generators; keep a healthy pool instead.
+	transport.MaxIdleConns = 256
+	transport.MaxIdleConnsPerHost = 256
 	return &Client{
 		base:  base,
-		http:  &http.Client{Timeout: 10 * time.Second},
+		http:  &http.Client{Timeout: singleTimeout, Transport: transport},
+		batch: &http.Client{Transport: transport},
 		owner: ownerToken,
 	}
+}
+
+// drainClose consumes any unread remainder of body before closing, so the
+// underlying connection returns to the idle pool instead of being torn
+// down (json.Decoder stops at the end of the value, leaving the trailing
+// newline unread).
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, body)
+	_ = body.Close()
+}
+
+// errorFromResponse drains a non-200 response's wire error into one
+// formatted error.
+func errorFromResponse(resp *http.Response, what string) error {
+	var we wireError
+	_ = json.NewDecoder(resp.Body).Decode(&we)
+	return fmt.Errorf("%s (%d): %s", what, resp.StatusCode, we.Error)
 }
 
 // RequestToken submits a token request and returns the parsed token.
@@ -45,21 +94,82 @@ func (c *Client) RequestToken(req *core.Request) (core.Token, error) {
 	if err != nil {
 		return core.Token{}, fmt.Errorf("token request: %w", err)
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		var we wireError
-		_ = json.NewDecoder(resp.Body).Decode(&we)
-		return core.Token{}, fmt.Errorf("token request denied (%d): %s", resp.StatusCode, we.Error)
+		return core.Token{}, errorFromResponse(resp, "token request denied")
 	}
 	var wt WireToken
 	if err := json.NewDecoder(resp.Body).Decode(&wt); err != nil {
 		return core.Token{}, fmt.Errorf("token response: %w", err)
 	}
+	return parseWireToken(&wt)
+}
+
+// parseWireToken decodes the hex token of one wire slot.
+func parseWireToken(wt *WireToken) (core.Token, error) {
 	raw, err := hex.DecodeString(wt.Token)
 	if err != nil {
 		return core.Token{}, fmt.Errorf("token hex: %w", err)
 	}
 	return core.ParseToken(raw)
+}
+
+// RequestTokens submits all requests in one POST /v1/tokens round-trip
+// and returns one ts.Result per request, in order: Token for an issued
+// slot, Err for a rejected one. The call itself fails only on transport
+// or protocol errors — per-request rejections land in the slots.
+func (c *Client) RequestTokens(reqs []*core.Request) ([]ts.Result, error) {
+	wb := WireBatchRequest{Requests: make([]WireRequest, len(reqs))}
+	for i, req := range reqs {
+		wr, err := FromRequest(req)
+		if err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+		wb.Requests[i] = *wr
+	}
+	body, err := json.Marshal(wb)
+	if err != nil {
+		return nil, err
+	}
+	// A full batch may legitimately take longer than a single request;
+	// extend the deadline per slot instead of relying on the client-wide
+	// single-request timeout.
+	ctx, cancel := context.WithTimeout(context.Background(),
+		singleTimeout+time.Duration(len(reqs))*batchSlotTimeout)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/tokens", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.batch.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("batch token request: %w", err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorFromResponse(resp, "batch token request denied")
+	}
+	var wr WireBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return nil, fmt.Errorf("batch token response: %w", err)
+	}
+	if len(wr.Results) != len(reqs) {
+		return nil, fmt.Errorf("batch token response: %d results for %d requests", len(wr.Results), len(reqs))
+	}
+	results := make([]ts.Result, len(wr.Results))
+	for i := range wr.Results {
+		slot := &wr.Results[i]
+		switch {
+		case slot.Error != "":
+			results[i].Err = fmt.Errorf("token request denied: %s", slot.Error)
+		case slot.Token == nil:
+			results[i].Err = fmt.Errorf("batch slot %d: empty result", i)
+		default:
+			results[i].Token, results[i].Err = parseWireToken(slot.Token)
+		}
+	}
+	return results, nil
 }
 
 // Info describes a Token Service instance.
@@ -70,13 +180,18 @@ type Info struct {
 	LifetimeSeconds int64 `json:"lifetimeSeconds"`
 }
 
-// Info fetches the service's public parameters.
+// Info fetches the service's public parameters. It returns an error on
+// transport failures, non-200 responses, and malformed bodies — a zero
+// Info is never silently returned.
 func (c *Client) Info() (Info, error) {
 	resp, err := c.http.Get(c.base + "/v1/info")
 	if err != nil {
 		return Info{}, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return Info{}, errorFromResponse(resp, "info request failed")
+	}
 	var info Info
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
 		return Info{}, err
@@ -100,11 +215,9 @@ func (c *Client) UpdateRules(rs *rules.RuleSet) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		var we wireError
-		_ = json.NewDecoder(resp.Body).Decode(&we)
-		return fmt.Errorf("update rules (%d): %s", resp.StatusCode, we.Error)
+		return errorFromResponse(resp, "update rules")
 	}
 	return nil
 }
@@ -120,11 +233,9 @@ func (c *Client) FetchRules() (*rules.RuleSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		var we wireError
-		_ = json.NewDecoder(resp.Body).Decode(&we)
-		return nil, fmt.Errorf("fetch rules (%d): %s", resp.StatusCode, we.Error)
+		return nil, errorFromResponse(resp, "fetch rules")
 	}
 	rs := rules.NewRuleSet()
 	if err := json.NewDecoder(resp.Body).Decode(rs); err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"repro/internal/core"
@@ -17,6 +18,7 @@ import (
 // Routes:
 //
 //	POST /v1/token   — request a token (clients)
+//	POST /v1/tokens  — request a batch of tokens in one round-trip
 //	GET  /v1/info    — service address and token lifetime (public)
 //	GET  /v1/rules   — current ACRs (owner only: rules stay private)
 //	PUT  /v1/rules   — replace the ACRs (owner only)
@@ -33,6 +35,7 @@ type Server struct {
 func NewServer(svc *ts.Service, ownerToken string) *Server {
 	s := &Server{svc: svc, ownerToken: ownerToken, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/token", s.handleToken)
+	s.mux.HandleFunc("POST /v1/tokens", s.handleTokenBatch)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
 	s.mux.HandleFunc("GET /v1/rules", s.ownerOnly(s.handleGetRules))
 	s.mux.HandleFunc("PUT /v1/rules", s.ownerOnly(s.handlePutRules))
@@ -62,9 +65,21 @@ func (s *Server) ownerOnly(next http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// Request-body caps: decoding happens before any semantic validation, so
+// the byte limit — not the batch-length check — is what actually bounds
+// an attacker-controlled allocation. The batch cap equals the
+// single-request cap, so batching never admits a payload /v1/token would
+// reject: a client whose argument payloads are large should send smaller
+// batches or fall back to one /v1/token call per request.
+const (
+	maxTokenBodyBytes = 1 << 20           // one token request
+	maxBatchBodyBytes = maxTokenBodyBytes // a full batch (~1 KiB per slot at maxBatchSize)
+	maxRulesBodyBytes = 16 << 20          // an owner's full rule set
+)
+
 func (s *Server) handleToken(w http.ResponseWriter, r *http.Request) {
 	var wr WireRequest
-	if err := json.NewDecoder(r.Body).Decode(&wr); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxTokenBodyBytes)).Decode(&wr); err != nil {
 		writeJSON(w, http.StatusBadRequest, wireError{Error: "bad JSON: " + err.Error()})
 		return
 	}
@@ -89,6 +104,55 @@ func (s *Server) handleToken(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxBatchSize bounds POST /v1/tokens so one request cannot monopolize
+// the issuance pipeline.
+const maxBatchSize = 1024
+
+func (s *Server) handleTokenBatch(w http.ResponseWriter, r *http.Request) {
+	var wb WireBatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)).Decode(&wb); err != nil {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if len(wb.Requests) == 0 {
+		writeJSON(w, http.StatusBadRequest, wireError{Error: "empty batch"})
+		return
+	}
+	if len(wb.Requests) > maxBatchSize {
+		writeJSON(w, http.StatusBadRequest,
+			wireError{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(wb.Requests), maxBatchSize)})
+		return
+	}
+
+	// Decode every slot first; a malformed slot carries its error without
+	// failing the batch. The well-formed remainder issues concurrently.
+	results := make([]WireBatchResult, len(wb.Requests))
+	reqs := make([]*core.Request, 0, len(wb.Requests))
+	slots := make([]int, 0, len(wb.Requests))
+	for i := range wb.Requests {
+		req, err := ToRequest(&wb.Requests[i])
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		reqs = append(reqs, req)
+		slots = append(slots, i)
+	}
+	for j, res := range s.svc.IssueBatch(reqs) {
+		i := slots[j]
+		if res.Err != nil {
+			results[i].Error = res.Err.Error()
+			continue
+		}
+		results[i].Token = &WireToken{
+			Token:  hex.EncodeToString(res.Token.Encode()),
+			Expire: res.Token.Expire.Unix(),
+			Index:  res.Token.Index,
+		}
+	}
+	writeJSON(w, http.StatusOK, WireBatchResponse{Results: results})
+}
+
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"address":         s.svc.Address().Hex(),
@@ -102,7 +166,7 @@ func (s *Server) handleGetRules(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePutRules(w http.ResponseWriter, r *http.Request) {
 	rs := rules.NewRuleSet()
-	if err := json.NewDecoder(r.Body).Decode(rs); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRulesBodyBytes)).Decode(rs); err != nil {
 		writeJSON(w, http.StatusBadRequest, wireError{Error: "bad rules JSON: " + err.Error()})
 		return
 	}

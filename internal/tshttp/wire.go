@@ -46,6 +46,26 @@ type WireToken struct {
 	Index int64 `json:"index"`
 }
 
+// WireBatchRequest is the JSON body of POST /v1/tokens: N token requests
+// submitted in one round-trip.
+type WireBatchRequest struct {
+	Requests []WireRequest `json:"requests"`
+}
+
+// WireBatchResult is one slot of a batch response: exactly one of Token
+// and Error is set.
+type WireBatchResult struct {
+	Token *WireToken `json:"token,omitempty"`
+	Error string     `json:"error,omitempty"`
+}
+
+// WireBatchResponse answers a batch request with one result per submitted
+// request, in order. A rejected request occupies its slot with an error
+// instead of failing the whole batch.
+type WireBatchResponse struct {
+	Results []WireBatchResult `json:"results"`
+}
+
 // wireError is the JSON error body.
 type wireError struct {
 	Error string `json:"error"`

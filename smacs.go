@@ -100,6 +100,11 @@ type (
 	TokenService = ts.Service
 	// TokenServiceConfig parameterizes a Token Service.
 	TokenServiceConfig = ts.Config
+	// TokenServiceCounter allocates one-time-token indexes.
+	TokenServiceCounter = ts.Counter
+	// ShardedCounter allocates one-time indexes from per-shard leased
+	// blocks for contention-free parallel issuance.
+	ShardedCounter = ts.ShardedCounter
 	// TokenServiceServer exposes a service over HTTP.
 	TokenServiceServer = tshttp.Server
 	// TokenServiceClient requests tokens over HTTP.
@@ -144,6 +149,12 @@ func NewContract(name string) *Contract { return evm.NewContract(name) }
 
 // NewTokenService creates a Token Service.
 func NewTokenService(cfg TokenServiceConfig) (*TokenService, error) { return ts.New(cfg) }
+
+// NewShardedCounter shards the one-time index space of underlying (nil =
+// a local counter) across shards, leasing blockSize indexes at a time.
+func NewShardedCounter(underlying TokenServiceCounter, shards, blockSize int) (*ShardedCounter, error) {
+	return ts.NewShardedCounter(underlying, shards, blockSize)
+}
 
 // NewVerifier creates the contract-side verifier trusting the given Token
 // Service address.
