@@ -14,6 +14,9 @@
 //	smacs-bench -mode load       # concurrent-issuance load sweep
 //	smacs-bench -mode load -workers 1,4,8 -duration 2s -warmup 250ms \
 //	    -batch 32 -csv out/load.csv
+//	smacs-bench -mode chain      # guarded-tx verification-pipeline sweep
+//	smacs-bench -mode chain -txs 192 -senders 16 -workers 1,4,8 \
+//	    -chainmodes naive,wnaf,cached,batched -csv out/chain.csv
 package main
 
 import (
@@ -39,24 +42,34 @@ func main() {
 		quick    = flag.Bool("quick", false, "smaller workloads (Fig. 9 to 10^3, baseline to 1000)")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of the paper-layout tables")
 
-		mode     = flag.String("mode", "", `"load" runs the concurrent-issuance load generator`)
-		workers  = flag.String("workers", "1,2,4,8", "load: comma-separated worker counts to sweep")
+		mode     = flag.String("mode", "", `"load" runs the concurrent-issuance load generator; "chain" runs the guarded-tx verification-pipeline sweep`)
+		workers  = flag.String("workers", "1,2,4,8", "load/chain: comma-separated worker counts to sweep")
 		duration = flag.Duration("duration", 2*time.Second, "load: measured interval per cell")
 		warmup   = flag.Duration("warmup", 250*time.Millisecond, "load: unmeasured warmup per cell")
 		onetime  = flag.Bool("onetime", true, "load: request one-time tokens (exercises the counter)")
 		rtt      = flag.Duration("rtt", time.Millisecond, "load: modeled quorum round-trip per index allocation (0 = in-process counter)")
-		batch    = flag.Int("batch", 32, "load: requests per IssueBatch call in batch mode")
+		batch    = flag.Int("batch", 32, "load: requests per IssueBatch call; chain: txs per ApplyBatch call")
 		modes    = flag.String("modes", "", "load: comma-separated subset of locked,atomic,sharded,batch")
-		csvPath  = flag.String("csv", "", "load: also write the sweep as CSV to this path")
+		csvPath  = flag.String("csv", "", "load/chain: also write the sweep as CSV to this path")
+
+		txs        = flag.Int("txs", 192, "chain: guarded transactions per cell")
+		senders    = flag.Int("senders", 16, "chain: distinct client accounts")
+		chainModes = flag.String("chainmodes", "", "chain: comma-separated subset of naive,wnaf,cached,batched")
 	)
 	flag.Parse()
 
 	if *mode != "" {
-		if *mode != "load" {
-			fmt.Fprintf(os.Stderr, "smacs-bench: unknown -mode %q (supported: load)\n", *mode)
+		var err error
+		switch *mode {
+		case "load":
+			err = runLoad(*workers, *duration, *warmup, *onetime, *rtt, *batch, *modes, *csvPath, *asJSON)
+		case "chain":
+			err = runChain(*workers, *txs, *senders, *batch, *chainModes, *csvPath, *asJSON)
+		default:
+			fmt.Fprintf(os.Stderr, "smacs-bench: unknown -mode %q (supported: load, chain)\n", *mode)
 			os.Exit(1)
 		}
-		if err := runLoad(*workers, *duration, *warmup, *onetime, *rtt, *batch, *modes, *csvPath, *asJSON); err != nil {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "smacs-bench:", err)
 			os.Exit(1)
 		}
@@ -72,14 +85,8 @@ func main() {
 	}
 }
 
-func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt time.Duration, batch int, modes, csvPath string, asJSON bool) error {
-	cfg := bench.LoadConfig{
-		Duration:  duration,
-		Warmup:    warmup,
-		OneTime:   onetime,
-		BatchSize: batch,
-		RTT:       rtt,
-	}
+func parseWorkers(workers string) ([]int, error) {
+	var out []int
 	for _, part := range strings.Split(workers, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -87,21 +94,32 @@ func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt t
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil {
-			return fmt.Errorf("bad -workers entry %q: %w", part, err)
+			return nil, fmt.Errorf("bad -workers entry %q: %w", part, err)
 		}
-		cfg.Workers = append(cfg.Workers, n)
+		out = append(out, n)
 	}
-	if modes != "" {
-		for _, m := range strings.Split(modes, ",") {
-			if m = strings.TrimSpace(m); m != "" {
-				cfg.Modes = append(cfg.Modes, m)
-			}
+	return out, nil
+}
+
+func splitModes(modes string) []string {
+	var out []string
+	for _, m := range strings.Split(modes, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
 		}
 	}
-	res, err := bench.Load(cfg)
-	if err != nil {
-		return err
-	}
+	return out
+}
+
+// sweepResult is the common shape of the load and chain sweeps: a table
+// renderer plus a CSV dump.
+type sweepResult interface {
+	Format() string
+	CSV() string
+}
+
+// emitSweep prints a sweep (table or JSON) and optionally writes its CSV.
+func emitSweep(res sweepResult, csvPath string, asJSON bool) error {
 	if asJSON {
 		enc, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -118,6 +136,44 @@ func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt t
 		fmt.Fprintln(os.Stderr, "wrote", csvPath)
 	}
 	return nil
+}
+
+func runChain(workers string, txs, senders, batch int, modes, csvPath string, asJSON bool) error {
+	cfg := bench.ChainConfig{
+		Txs:       txs,
+		Senders:   senders,
+		BatchSize: batch,
+		Modes:     splitModes(modes),
+	}
+	var err error
+	if cfg.Workers, err = parseWorkers(workers); err != nil {
+		return err
+	}
+	res, err := bench.Chain(cfg)
+	if err != nil {
+		return err
+	}
+	return emitSweep(res, csvPath, asJSON)
+}
+
+func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt time.Duration, batch int, modes, csvPath string, asJSON bool) error {
+	cfg := bench.LoadConfig{
+		Duration:  duration,
+		Warmup:    warmup,
+		OneTime:   onetime,
+		BatchSize: batch,
+		RTT:       rtt,
+	}
+	var err error
+	if cfg.Workers, err = parseWorkers(workers); err != nil {
+		return err
+	}
+	cfg.Modes = splitModes(modes)
+	res, err := bench.Load(cfg)
+	if err != nil {
+		return err
+	}
+	return emitSweep(res, csvPath, asJSON)
 }
 
 func run(table, figure int, tools, baseline, missrate, all, quick, asJSON bool) error {

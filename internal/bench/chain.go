@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/secp256k1"
+	"repro/internal/transform"
+	"repro/internal/types"
+)
+
+// ChainModes are the runtime-verification pipelines the chain sweep
+// compares, cumulative from left to right:
+//
+//	naive   — reference: naive double-and-add ecrecover, no caches,
+//	          serial Chain.Apply
+//	wnaf    — wNAF/GLV/Shamir ecrecover, no caches, serial Apply
+//	cached  — wNAF plus the sender and token-signer caches, serial Apply
+//	batched — everything above driven through Chain.ApplyBatch with the
+//	          parallel prevalidation pool and the core.TokenPrehook
+var ChainModes = []string{"naive", "wnaf", "cached", "batched"}
+
+// ChainConfig parameterizes the guarded-transaction throughput sweep.
+type ChainConfig struct {
+	// Txs is the number of pre-signed guarded transactions per cell.
+	Txs int `json:"txs"`
+	// Senders is the number of distinct client accounts; transactions are
+	// interleaved round-robin so each sender's nonces stay ordered.
+	Senders int `json:"senders"`
+	// BatchSize is the transactions per ApplyBatch call in batched mode.
+	BatchSize int `json:"batchSize"`
+	// Workers are the prevalidation worker counts swept in batched mode
+	// (serial modes ignore them and report workers = 1).
+	Workers []int `json:"workers"`
+	// Modes restricts the sweep (nil = all of ChainModes).
+	Modes []string `json:"modes,omitempty"`
+}
+
+// DefaultChainConfig returns the sweep the BENCHMARKS.md table uses.
+func DefaultChainConfig() ChainConfig {
+	return ChainConfig{Txs: 192, Senders: 16, BatchSize: 32, Workers: []int{1, 2, 4, 8}}
+}
+
+// ChainRow is one cell: a pipeline at a worker count.
+type ChainRow struct {
+	Mode       string  `json:"mode"`
+	Workers    int     `json:"workers"`
+	Txs        int     `json:"txs"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"txPerSec"`
+	// Speedup is the throughput relative to the naive row (0 when the
+	// sweep excludes the naive baseline).
+	Speedup float64 `json:"speedupVsNaive"`
+}
+
+// ChainResult is the full sweep.
+type ChainResult struct {
+	Config ChainConfig `json:"config"`
+	Rows   []ChainRow  `json:"rows"`
+}
+
+// chainCell is one prepared workload: a fresh chain with a SMACS-guarded
+// contract and Txs pre-signed, token-carrying transactions.
+type chainCell struct {
+	chain  *evm.Chain
+	tsAddr types.Address
+	txs    []*evm.Transaction
+}
+
+// newGuardedContract builds the minimal SMACS-enabled target: a bump()
+// method whose cost is dominated by the verification preamble, which is
+// exactly the hot path this sweep measures.
+func newGuardedContract(v *core.Verifier) *evm.Contract {
+	c := evm.NewContract("Guarded")
+	c.MustAddMethod(evm.Method{
+		Name:       "bump",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			return []any{true}, nil
+		},
+	})
+	return transform.Enable(c, v)
+}
+
+// newChainCell deploys the guarded contract and pre-signs the workload:
+// every sender holds one reusable method token and submits Txs/Senders
+// calls with consecutive nonces. Signing happens outside the measured
+// interval.
+func newChainCell(cfg ChainConfig) (*chainCell, error) {
+	tsKey := secp256k1.PrivateKeyFromSeed([]byte("chain bench ts"))
+	chain := evm.NewChain(evm.DefaultConfig())
+	verifier := core.NewVerifier(tsKey.Address())
+	owner := secp256k1.PrivateKeyFromSeed([]byte("chain bench owner"))
+	target, _, err := chain.Deploy(owner.Address(), newGuardedContract(verifier))
+	if err != nil {
+		return nil, err
+	}
+
+	sel := abi.SelectorFor("bump()")
+	expire := time.Now().Add(24 * time.Hour)
+	keys := make([]*secp256k1.PrivateKey, cfg.Senders)
+	tokens := make([][][]byte, cfg.Senders)
+	for i := range keys {
+		keys[i] = secp256k1.PrivateKeyFromSeed([]byte(fmt.Sprintf("chain bench sender %d", i)))
+		chain.Fund(keys[i].Address(), ether(1000))
+		tk, err := core.SignToken(tsKey, core.MethodType, expire, core.NotOneTime, core.Binding{
+			Origin:   keys[i].Address(),
+			Contract: target,
+			Selector: sel,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tokens[i] = [][]byte{core.EncodeEntry(target, tk)}
+	}
+
+	cell := &chainCell{chain: chain, tsAddr: tsKey.Address()}
+	for n := 0; len(cell.txs) < cfg.Txs; n++ {
+		for i := 0; i < cfg.Senders && len(cell.txs) < cfg.Txs; i++ {
+			tx := &evm.Transaction{
+				Nonce:    uint64(n),
+				To:       target,
+				Value:    new(big.Int),
+				GasLimit: 8_000_000,
+				GasPrice: big.NewInt(1),
+				Method:   "bump",
+				Tokens:   tokens[i],
+			}
+			if err := evm.SignTx(tx, keys[i], chain.Config().ChainID); err != nil {
+				return nil, err
+			}
+			cell.txs = append(cell.txs, tx)
+		}
+	}
+	return cell, nil
+}
+
+// pipelineToggles flips the crypto fast path and the recovery caches for a
+// mode and returns a restore function. Disabling a cache purges it, so
+// every cell starts cold even though cells re-sign byte-identical
+// transactions.
+func pipelineToggles(mode string) (restore func()) {
+	prevFast := secp256k1.SetFastMult(mode != "naive")
+	caches := mode == "cached" || mode == "batched"
+	prevSender := evm.SetSenderCache(false) // purge
+	prevToken := core.SetTokenSigCache(false)
+	evm.SetSenderCache(caches)
+	core.SetTokenSigCache(caches)
+	return func() {
+		secp256k1.SetFastMult(prevFast)
+		evm.SetSenderCache(prevSender)
+		core.SetTokenSigCache(prevToken)
+	}
+}
+
+func runChainCell(mode string, cfg ChainConfig, workers int) (ChainRow, error) {
+	cell, err := newChainCell(cfg)
+	if err != nil {
+		return ChainRow{}, err
+	}
+	restore := pipelineToggles(mode)
+	defer restore()
+
+	start := time.Now()
+	switch mode {
+	case "batched":
+		hook := core.TokenPrehook(cell.tsAddr, cell.chain.Config().ChainID)
+		for off := 0; off < len(cell.txs); off += cfg.BatchSize {
+			end := off + cfg.BatchSize
+			if end > len(cell.txs) {
+				end = len(cell.txs)
+			}
+			for i, res := range cell.chain.ApplyBatch(cell.txs[off:end], evm.BatchOptions{
+				Workers:     workers,
+				Prevalidate: hook,
+			}) {
+				if res.Err != nil {
+					return ChainRow{}, fmt.Errorf("tx %d: %w", off+i, res.Err)
+				}
+				if !res.Receipt.Status {
+					return ChainRow{}, fmt.Errorf("tx %d reverted: %w", off+i, res.Receipt.Err)
+				}
+			}
+		}
+	default:
+		for i, tx := range cell.txs {
+			r, err := cell.chain.Apply(tx)
+			if err != nil {
+				return ChainRow{}, fmt.Errorf("tx %d: %w", i, err)
+			}
+			if !r.Status {
+				return ChainRow{}, fmt.Errorf("tx %d reverted: %w", i, r.Err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	return ChainRow{
+		Mode:       mode,
+		Workers:    workers,
+		Txs:        len(cell.txs),
+		Seconds:    elapsed.Seconds(),
+		Throughput: float64(len(cell.txs)) / elapsed.Seconds(),
+	}, nil
+}
+
+// Chain runs the closed-loop guarded-transaction sweep: every mode applies
+// the same pre-signed workload, and batched mode is additionally swept over
+// the prevalidation worker counts.
+func Chain(cfg ChainConfig) (*ChainResult, error) {
+	def := DefaultChainConfig()
+	if cfg.Txs <= 0 {
+		cfg.Txs = def.Txs
+	}
+	if cfg.Senders <= 0 {
+		cfg.Senders = def.Senders
+	}
+	if cfg.Senders > cfg.Txs {
+		cfg.Senders = cfg.Txs
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = def.BatchSize
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = def.Workers
+	}
+	modes := cfg.Modes
+	if len(modes) == 0 {
+		modes = ChainModes
+	}
+	for _, mode := range modes {
+		known := false
+		for _, m := range ChainModes {
+			known = known || m == mode
+		}
+		if !known {
+			return nil, fmt.Errorf("bench: unknown chain mode %q (supported: %s)", mode, strings.Join(ChainModes, ", "))
+		}
+	}
+	for _, w := range cfg.Workers {
+		if w < 1 {
+			return nil, fmt.Errorf("bench: worker count must be positive, got %d", w)
+		}
+	}
+
+	res := &ChainResult{Config: cfg}
+	for _, mode := range modes {
+		sweep := []int{1}
+		if mode == "batched" {
+			sweep = cfg.Workers
+		}
+		for _, workers := range sweep {
+			row, err := runChainCell(mode, cfg, workers)
+			if err != nil {
+				return nil, fmt.Errorf("chain %s ×%d: %w", mode, workers, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	// Fill speedups in a post-pass so the naive baseline is found no
+	// matter where it appears in a user-supplied mode order.
+	naive := 0.0
+	for _, row := range res.Rows {
+		if row.Mode == "naive" {
+			naive = row.Throughput
+			break
+		}
+	}
+	if naive > 0 {
+		for i := range res.Rows {
+			res.Rows[i].Speedup = res.Rows[i].Throughput / naive
+		}
+	}
+	return res, nil
+}
+
+// Format renders the sweep as the verification-pipeline table of
+// docs/BENCHMARKS.md.
+func (r *ChainResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Guarded-transaction throughput by verification pipeline (%d txs, %d senders, batch size %d)\n",
+		r.Config.Txs, r.Config.Senders, r.Config.BatchSize)
+	b.WriteString("Each guarded tx performs two ecrecovers (tx sender + token signature) before the app handler runs.\n")
+	fmt.Fprintf(&b, "  %-8s %8s %8s %10s %12s %10s\n",
+		"mode", "workers", "txs", "seconds", "tx/s", "vs naive")
+	for _, row := range r.Rows {
+		speedup := "-"
+		if row.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", row.Speedup)
+		}
+		fmt.Fprintf(&b, "  %-8s %8d %8d %10.3f %12.1f %10s\n",
+			row.Mode, row.Workers, row.Txs, row.Seconds, row.Throughput, speedup)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as machine-readable rows (one line per cell).
+func (r *ChainResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("mode,workers,txs,seconds,tx_per_sec,speedup_vs_naive\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.1f,%.3f\n",
+			row.Mode, row.Workers, row.Txs, row.Seconds, row.Throughput, row.Speedup)
+	}
+	return b.String()
+}

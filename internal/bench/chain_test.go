@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/secp256k1"
+)
+
+func TestChainSweepSmoke(t *testing.T) {
+	res, err := Chain(ChainConfig{
+		Txs:       6,
+		Senders:   3,
+		BatchSize: 4,
+		Workers:   []int{2},
+		Modes:     []string{"naive", "batched"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Txs != 6 {
+			t.Errorf("%s: txs = %d, want 6", row.Mode, row.Txs)
+		}
+		if row.Throughput <= 0 {
+			t.Errorf("%s: non-positive throughput", row.Mode)
+		}
+	}
+	if res.Rows[1].Speedup <= 0 {
+		t.Error("batched row missing speedup vs naive")
+	}
+	out := res.Format()
+	for _, want := range []string{"naive", "batched", "tx/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q", want)
+		}
+	}
+	csv := res.CSV()
+	if got := strings.Count(csv, "\n"); got != 3 {
+		t.Errorf("CSV has %d lines, want 3", got)
+	}
+}
+
+func TestChainSweepRejectsBadConfig(t *testing.T) {
+	if _, err := Chain(ChainConfig{Modes: []string{"warp"}}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := Chain(ChainConfig{Workers: []int{0}}); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestChaintogglesRestored(t *testing.T) {
+	if !secp256k1.FastMultEnabled() || !evm.SenderCacheEnabled() || !core.TokenSigCacheEnabled() {
+		t.Skip("non-default toggle state inherited from another test")
+	}
+	if _, err := Chain(ChainConfig{Txs: 2, Senders: 1, Workers: []int{1}, Modes: []string{"naive"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !secp256k1.FastMultEnabled() {
+		t.Error("fast-mult toggle not restored after naive cell")
+	}
+	if !evm.SenderCacheEnabled() || !core.TokenSigCacheEnabled() {
+		t.Error("cache toggles not restored after naive cell")
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"repro/internal/evm"
+	"repro/internal/types"
+)
+
+// TokenPrehook returns an evm.BatchOptions.Prevalidate hook that verifies a
+// transaction's token signature against the Token Service address during
+// ApplyBatch's parallel prevalidation phase, outside the chain mutex. The
+// recovered signer lands in the token-signer cache, so the authoritative
+// Verifier.Verify run inside the serial commit skips its ecrecover.
+//
+// The hook only warms the top-level entry (the token tagged with the
+// transaction's target contract); downstream call-chain entries are
+// verified — and cached — when the chain executes them. It is best-effort
+// by design: any malformed or missing token is simply left for the on-chain
+// verification to reject, and gas accounting is untouched because the
+// Verifier charges the full ecrecover cost whether or not the cache hits.
+func TokenPrehook(tsAddr types.Address, chainID uint64) func(*evm.Transaction) {
+	return func(tx *evm.Transaction) {
+		// With the token-signer cache disabled the recovered signer cannot
+		// be handed to the commit phase, so the whole warm-up would be
+		// duplicate work — skip it.
+		if !TokenSigCacheEnabled() || len(tx.Tokens) == 0 {
+			return
+		}
+		tk, err := TokenFor(tx.Tokens, tx.To)
+		if err != nil {
+			return
+		}
+		origin, err := tx.Sender(chainID)
+		if err != nil {
+			return
+		}
+		appData, err := tx.AppData()
+		if err != nil || len(appData) < 4 {
+			return
+		}
+		binding := Binding{Origin: origin, Contract: tx.To, Data: appData}
+		copy(binding.Selector[:], appData[:4])
+		_ = tk.VerifySignature(tsAddr, binding)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/keccak"
 	"repro/internal/secp256k1"
+	"repro/internal/sigcache"
 	"repro/internal/types"
 )
 
@@ -217,11 +218,30 @@ func SignToken(key *secp256k1.PrivateKey, tp TokenType, expire time.Time, index 
 
 // VerifySignature checks the token signature against the Token Service
 // address (the ecrecover idiom: recover the signer address and compare).
+// Recovered signers are memoized by digest ‖ signature (see tokenSigCache),
+// so re-presenting the same token for the same binding skips the ecrecover;
+// the signer/address comparison always runs.
 func (tk *Token) VerifySignature(tsAddr types.Address, b Binding) error {
 	digest := Digest(tk.Type, tk.Expire, tk.Index, b)
-	signer, err := secp256k1.RecoverAddress([32]byte(digest), tk.Signature)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadTokenSig, err)
+	// Out-of-range scalars skip the cache (Signature.Bytes panics on them);
+	// RecoverAddress below rejects them as ErrBadTokenSig instead.
+	var key string
+	if tokenSigCacheOn.Load() && tk.Signature.R != nil && tk.Signature.S != nil && tk.Signature.Validate() == nil {
+		key = sigcache.Key([32]byte(digest), tk.Signature.Bytes())
+	}
+	signer, ok := types.Address{}, false
+	if key != "" {
+		signer, ok = tokenSigCache.Get(key)
+	}
+	if !ok {
+		var err error
+		signer, err = secp256k1.RecoverAddress([32]byte(digest), tk.Signature)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadTokenSig, err)
+		}
+		if key != "" {
+			tokenSigCache.Add(key, signer)
+		}
 	}
 	if signer != tsAddr {
 		return fmt.Errorf("%w: signed by %s, want %s", ErrBadTokenSig, signer, tsAddr)

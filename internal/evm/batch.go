@@ -1,0 +1,96 @@
+package evm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult pairs the outcome of one transaction in an ApplyBatch call:
+// exactly one of Receipt/Err is set, mirroring Apply's return values.
+type BatchResult struct {
+	// Receipt is the execution receipt of the committed transaction.
+	Receipt *Receipt
+	// Err is the rejection reason for transactions that never executed
+	// (bad signature, nonce mismatch, insufficient balance, …).
+	Err error
+}
+
+// BatchOptions parameterizes ApplyBatch.
+type BatchOptions struct {
+	// Workers bounds the prevalidation pool; 0 means GOMAXPROCS.
+	Workers int
+	// Prevalidate, when set, runs once per transaction in the parallel
+	// prevalidation phase, outside the chain mutex. It is a warm-up hook —
+	// core.TokenPrehook uses it to verify token signatures ahead of the
+	// serial commit — and must be safe for concurrent use. It communicates
+	// only by side effect (warming caches): the authoritative checks run
+	// again at commit.
+	Prevalidate func(*Transaction)
+}
+
+// ApplyBatch verifies and executes a batch of signed transactions. The
+// expensive, state-independent verification work — signature recovery for
+// every sender and, via the Prevalidate hook, token-signature verification —
+// runs first in a bounded worker pool without holding the chain mutex; the
+// state transitions then commit serially in slice order, each mining its
+// own block exactly as Apply does. Per-sender nonce ordering is therefore
+// the slice order.
+//
+// The i-th result corresponds to txs[i]. A rejected transaction does not
+// abort the batch; later transactions still commit.
+func (ch *Chain) ApplyBatch(txs []*Transaction, opts BatchOptions) []BatchResult {
+	results := make([]BatchResult, len(txs))
+	if len(txs) == 0 {
+		return results
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+
+	// Phase 1: prevalidate in parallel, outside the chain mutex. Sender
+	// recovery populates each transaction's memo (and the shared sender
+	// cache), so the serial commit below only re-hashes and compares —
+	// with the sender cache disabled the recovery result could not be
+	// handed to the commit phase, so it is skipped rather than wasted.
+	// Recovery errors are deliberately dropped here — applyLocked
+	// re-derives them deterministically, keeping Apply and ApplyBatch
+	// behaviour identical for bad transactions.
+	recoverSenders := senderCacheOn.Load()
+	if recoverSenders || opts.Prevalidate != nil {
+		chainID := ch.cfg.ChainID
+		var wg sync.WaitGroup
+		next := make(chan *Transaction)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for tx := range next {
+					if recoverSenders {
+						_, _ = tx.Sender(chainID)
+					}
+					if opts.Prevalidate != nil {
+						opts.Prevalidate(tx)
+					}
+				}
+			}()
+		}
+		for _, tx := range txs {
+			next <- tx
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Phase 2: commit serially under the chain mutex.
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	for i, tx := range txs {
+		results[i].Receipt, results[i].Err = ch.applyLocked(tx)
+	}
+	return results
+}

@@ -250,7 +250,12 @@ func (ch *Chain) Deploy(creator types.Address, contract *Contract) (types.Addres
 func (ch *Chain) Apply(tx *Transaction) (*Receipt, error) {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
+	return ch.applyLocked(tx)
+}
 
+// applyLocked is the body of Apply; the chain mutex must be held. ApplyBatch
+// uses it to commit prevalidated transactions serially.
+func (ch *Chain) applyLocked(tx *Transaction) (*Receipt, error) {
 	sender, err := tx.Sender(ch.cfg.ChainID)
 	if err != nil {
 		return nil, err

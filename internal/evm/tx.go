@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"repro/internal/abi"
 	"repro/internal/keccak"
 	"repro/internal/rlp"
 	"repro/internal/secp256k1"
+	"repro/internal/sigcache"
 	"repro/internal/types"
 )
 
@@ -37,6 +39,20 @@ type Transaction struct {
 	Tokens [][]byte
 	// Sig is the sender's secp256k1 signature over SigHash.
 	Sig secp256k1.Signature
+
+	// memo caches the last recovered sender, keyed by the signing digest
+	// and signature bytes so any post-signing mutation forces a fresh
+	// recovery (see Sender).
+	memo atomic.Pointer[senderMemo]
+}
+
+// senderMemo is one cached sender recovery. The digest and signature are
+// stored alongside the address: a memo is only trusted when both still
+// match the transaction's current content.
+type senderMemo struct {
+	digest types.Hash
+	sig    [secp256k1.SignatureLength]byte
+	sender types.Address
 }
 
 // Transaction validation errors.
@@ -137,6 +153,11 @@ func SignTx(tx *Transaction, key *secp256k1.PrivateKey, chainID uint64) error {
 }
 
 // Sender recovers the transaction originator from the signature.
+//
+// The recovery is memoized: the signing digest and signature bytes are
+// always recomputed (so tampering with any signed field after a previous
+// call yields a fresh — different — recovery), but the expensive ecrecover
+// is skipped when both match a prior call or the shared sender cache.
 func (tx *Transaction) Sender(chainID uint64) (types.Address, error) {
 	digest, err := tx.SigHash(chainID)
 	if err != nil {
@@ -145,9 +166,30 @@ func (tx *Transaction) Sender(chainID uint64) (types.Address, error) {
 	if tx.Sig.R == nil || tx.Sig.S == nil {
 		return types.Address{}, ErrBadTxSignature
 	}
+	// Out-of-range scalars skip the cache: Sig.Bytes (the cache key) panics
+	// on them, and RecoverAddress below reports them as ErrBadTxSignature
+	// exactly as the uncached path always has.
+	cached := senderCacheOn.Load() && tx.Sig.Validate() == nil
+	var sigBytes [secp256k1.SignatureLength]byte
+	var key string
+	if cached {
+		copy(sigBytes[:], tx.Sig.Bytes())
+		if m := tx.memo.Load(); m != nil && m.digest == digest && m.sig == sigBytes {
+			return m.sender, nil
+		}
+		key = sigcache.Key([32]byte(digest), sigBytes[:])
+		if addr, ok := senderCache.Get(key); ok {
+			tx.memo.Store(&senderMemo{digest: digest, sig: sigBytes, sender: addr})
+			return addr, nil
+		}
+	}
 	addr, err := secp256k1.RecoverAddress([32]byte(digest), tx.Sig)
 	if err != nil {
 		return types.Address{}, fmt.Errorf("%w: %v", ErrBadTxSignature, err)
+	}
+	if cached {
+		senderCache.Add(key, addr)
+		tx.memo.Store(&senderMemo{digest: digest, sig: sigBytes, sender: addr})
 	}
 	return addr, nil
 }

@@ -1,0 +1,75 @@
+package secp256k1
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// The benchmarks below make the crypto-layer speedup reproducible with
+// plain `go test -bench` (the chain-level view lives in smacs-bench
+// -mode chain). The naive/wnaf sub-benchmarks toggle SetFastMult so the
+// reference ladder stays measurable.
+
+var benchSink types.Address
+
+func benchSig(b *testing.B) (*PrivateKey, [32]byte, Signature) {
+	b.Helper()
+	key := PrivateKeyFromSeed([]byte("bench key"))
+	var digest [32]byte
+	copy(digest[:], []byte("benchmark digest 32 bytes long!!"))
+	sig, err := Sign(key, digest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return key, digest, sig
+}
+
+func BenchmarkSign(b *testing.B) {
+	key, digest, _ := benchSig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sign(key, digest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRecoverAddress(b *testing.B, fast bool) {
+	_, digest, sig := benchSig(b)
+	prev := SetFastMult(fast)
+	defer SetFastMult(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, err := RecoverAddress(digest, sig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink = addr
+	}
+}
+
+func BenchmarkRecoverAddress(b *testing.B) {
+	b.Run("naive", func(b *testing.B) { benchRecoverAddress(b, false) })
+	b.Run("wnaf", func(b *testing.B) { benchRecoverAddress(b, true) })
+}
+
+func benchVerify(b *testing.B, fast bool) {
+	key, digest, sig := benchSig(b)
+	prev := SetFastMult(fast)
+	defer SetFastMult(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(key.Pub, digest, sig) {
+			b.Fatal("valid signature rejected")
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	b.Run("naive", func(b *testing.B) { benchVerify(b, false) })
+	b.Run("wnaf", func(b *testing.B) { benchVerify(b, true) })
+}

@@ -180,14 +180,63 @@ func addJacobian(p, q jacobianPoint) jacobianPoint {
 	return jacobianPoint{x: x3, y: y3, z: z3}
 }
 
-// addMixed computes p + q where q is affine (Z = 1), which is cheaper than
-// the general addition and is the common case for table-driven base-point
-// multiplication.
+// addMixed computes p + q where q is affine (Z = 1), using the dedicated
+// mixed-addition formulas (≈ 8M + 3S instead of 12M + 4S for the general
+// addition); it serves the base-point comb of scalarBaseMult and the table
+// precomputation. The wNAF ladder of fastmult.go carries its own in-place
+// variant of the same formulas (ladderScratch.addMixedInPlace) — keep the
+// two in sync when touching either.
 func addMixed(p jacobianPoint, q affinePoint) jacobianPoint {
 	if q.isInfinity() {
 		return p
 	}
-	return addJacobian(p, fromAffine(q))
+	if p.isInfinity() {
+		return fromAffine(q)
+	}
+	z1z1 := new(big.Int).Mul(p.z, p.z)
+	modP(z1z1)
+	u2 := new(big.Int).Mul(q.x, z1z1)
+	modP(u2)
+	s2 := new(big.Int).Mul(q.y, p.z)
+	s2.Mul(s2, z1z1)
+	modP(s2)
+
+	h := new(big.Int).Sub(u2, p.x)
+	h.Mod(h, curveP)
+	r := new(big.Int).Sub(s2, p.y)
+	r.Mod(r, curveP)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			return doubleJacobian(p)
+		}
+		return newInfinity()
+	}
+
+	h2 := new(big.Int).Mul(h, h)
+	modP(h2)
+	h3 := new(big.Int).Mul(h2, h)
+	modP(h3)
+	v := new(big.Int).Mul(p.x, h2)
+	modP(v)
+
+	x3 := new(big.Int).Mul(r, r)
+	modP(x3)
+	x3.Sub(x3, h3)
+	x3.Sub(x3, new(big.Int).Lsh(v, 1))
+	x3.Mod(x3, curveP)
+
+	y3 := new(big.Int).Sub(v, x3)
+	y3.Mul(y3, r)
+	modP(y3)
+	y1h3 := new(big.Int).Mul(p.y, h3)
+	modP(y1h3)
+	y3.Sub(y3, y1h3)
+	y3.Mod(y3, curveP)
+
+	z3 := new(big.Int).Mul(p.z, h)
+	modP(z3)
+
+	return jacobianPoint{x: x3, y: y3, z: z3}
 }
 
 // scalarMult computes k·P for an affine point P using a simple left-to-right

@@ -66,6 +66,12 @@ func ParseSignature(b []byte) (Signature, error) {
 	return sig, nil
 }
 
+// Validate checks that the signature scalars are canonical: 0 < r, s < n
+// and s in low form. Callers that serialize a signature before handing it
+// to Recover/Verify (for example to build a cache key) should gate on this
+// first — Bytes panics on negative or oversized scalars.
+func (sig Signature) Validate() error { return sig.validateScalars() }
+
 func (sig Signature) validateScalars() error {
 	if sig.R.Sign() <= 0 || sig.R.Cmp(curveN) >= 0 {
 		return fmt.Errorf("%w: r out of range", ErrInvalidSignature)
@@ -132,7 +138,7 @@ func Verify(pub PublicKey, digest [32]byte, sig Signature) bool {
 	u1.Mod(u1, curveN)
 	u2 := new(big.Int).Mul(sig.R, w)
 	u2.Mod(u2, curveN)
-	sum := addJacobian(scalarBaseMult(u1), scalarMult(affinePoint{x: pub.X, y: pub.Y}, u2))
+	sum := doubleScalarMult(u1, affinePoint{x: pub.X, y: pub.Y}, u2)
 	if sum.isInfinity() {
 		return false
 	}
@@ -179,7 +185,7 @@ func Recover(digest [32]byte, sig Signature) (PublicKey, error) {
 	u1.Mod(u1, curveN)
 	u2 := new(big.Int).Mul(sig.S, rInv)
 	u2.Mod(u2, curveN)
-	q := addJacobian(scalarBaseMult(u1), scalarMult(affinePoint{x: x, y: y}, u2))
+	q := doubleScalarMult(u1, affinePoint{x: x, y: y}, u2)
 	if q.isInfinity() {
 		return PublicKey{}, ErrRecoveryFailed
 	}

@@ -234,31 +234,3 @@ func TestParsePublicKey(t *testing.T) {
 		t.Error("off-curve public key accepted")
 	}
 }
-
-func BenchmarkSign(b *testing.B) {
-	key := PrivateKeyFromSeed([]byte("bench"))
-	digest := keccak.Sum256([]byte("bench message"))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Sign(key, digest); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkRecover(b *testing.B) {
-	key := PrivateKeyFromSeed([]byte("bench"))
-	digest := keccak.Sum256([]byte("bench message"))
-	sig, err := Sign(key, digest)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Recover(digest, sig); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
