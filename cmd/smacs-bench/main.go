@@ -17,6 +17,13 @@
 //	smacs-bench -mode chain      # guarded-tx verification-pipeline sweep
 //	smacs-bench -mode chain -txs 192 -senders 16 -workers 1,4,8 \
 //	    -chainmodes naive,wnaf,cached,batched -csv out/chain.csv
+//	smacs-bench -mode e2e        # end-to-end scenarios (HTTP TS → clients → chain)
+//	smacs-bench -mode e2e -scenario adversarial -smoke
+//	smacs-bench -mode e2e -smoke -envelope out/e2e-envelope.json   # CI gate
+//
+// Flag combinations are validated up front: an unknown -scenario, or
+// unknown entries in -modes/-chainmodes, exit with status 2 and a usage
+// message instead of being silently ignored.
 package main
 
 import (
@@ -42,7 +49,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "smaller workloads (Fig. 9 to 10^3, baseline to 1000)")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of the paper-layout tables")
 
-		mode     = flag.String("mode", "", `"load" runs the concurrent-issuance load generator; "chain" runs the guarded-tx verification-pipeline sweep`)
+		mode     = flag.String("mode", "", `"load" runs the concurrent-issuance load generator; "chain" runs the guarded-tx verification-pipeline sweep; "e2e" runs the end-to-end scenario harness`)
 		workers  = flag.String("workers", "1,2,4,8", "load/chain: comma-separated worker counts to sweep")
 		duration = flag.Duration("duration", 2*time.Second, "load: measured interval per cell")
 		warmup   = flag.Duration("warmup", 250*time.Millisecond, "load: unmeasured warmup per cell")
@@ -55,8 +62,19 @@ func main() {
 		txs        = flag.Int("txs", 192, "chain: guarded transactions per cell")
 		senders    = flag.Int("senders", 16, "chain: distinct client accounts")
 		chainModes = flag.String("chainmodes", "", "chain: comma-separated subset of naive,wnaf,cached,batched")
+
+		scenario      = flag.String("scenario", "", "e2e: comma-separated subset of "+strings.Join(bench.ScenarioNames(), ",")+` (or "all", the default)`)
+		smoke         = flag.Bool("smoke", false, "e2e: small deterministic sizing (the scale the CI envelope pins)")
+		envelopePath  = flag.String("envelope", "", "e2e: compare correctness counts against this envelope JSON and fail on drift")
+		writeEnvelope = flag.String("write-envelope", "", "e2e: write the run's correctness counts as an envelope JSON to this path")
 	)
 	flag.Parse()
+
+	if err := validateSelection(*mode, *scenario, *modes, *chainModes, *smoke, *envelopePath, *writeEnvelope); err != nil {
+		fmt.Fprintln(os.Stderr, "smacs-bench:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *mode != "" {
 		var err error
@@ -65,9 +83,8 @@ func main() {
 			err = runLoad(*workers, *duration, *warmup, *onetime, *rtt, *batch, *modes, *csvPath, *asJSON)
 		case "chain":
 			err = runChain(*workers, *txs, *senders, *batch, *chainModes, *csvPath, *asJSON)
-		default:
-			fmt.Fprintf(os.Stderr, "smacs-bench: unknown -mode %q (supported: load, chain)\n", *mode)
-			os.Exit(1)
+		case "e2e":
+			err = runE2E(*scenario, *smoke, *envelopePath, *writeEnvelope, *csvPath, *asJSON)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smacs-bench:", err)
@@ -83,6 +100,70 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smacs-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// validateSelection rejects inconsistent flag combinations before any
+// measurement runs: unknown modes, unknown -scenario / -modes /
+// -chainmodes entries, and e2e-only flags outside -mode e2e. Catching
+// these up front means a typo exits with a usage message instead of
+// silently discarding minutes of completed sweep cells.
+func validateSelection(mode, scenario, modes, chainModes string, smoke bool, envelopePath, writeEnvelope string) error {
+	switch mode {
+	case "", "load", "chain", "e2e":
+	default:
+		return fmt.Errorf("unknown -mode %q (supported: load, chain, e2e)", mode)
+	}
+	checkEntries := func(flagName, entries string, supported []string) error {
+		valid := make(map[string]bool, len(supported))
+		for _, s := range supported {
+			valid[s] = true
+		}
+		for _, entry := range splitModes(entries) {
+			if !valid[entry] {
+				return fmt.Errorf("unknown %s entry %q (supported: %s)",
+					flagName, entry, strings.Join(supported, ", "))
+			}
+		}
+		return nil
+	}
+	if scenario != "" {
+		if mode != "e2e" {
+			return fmt.Errorf("-scenario requires -mode e2e")
+		}
+		if scenario != "all" {
+			if err := checkEntries("-scenario", scenario, bench.ScenarioNames()); err != nil {
+				return err
+			}
+		}
+	}
+	if mode != "e2e" {
+		if smoke {
+			return fmt.Errorf("-smoke requires -mode e2e")
+		}
+		if envelopePath != "" {
+			return fmt.Errorf("-envelope requires -mode e2e")
+		}
+		if writeEnvelope != "" {
+			return fmt.Errorf("-write-envelope requires -mode e2e")
+		}
+	}
+	if modes != "" {
+		if mode != "load" {
+			return fmt.Errorf("-modes requires -mode load")
+		}
+		if err := checkEntries("-modes", modes, bench.LoadModes); err != nil {
+			return err
+		}
+	}
+	if chainModes != "" {
+		if mode != "chain" {
+			return fmt.Errorf("-chainmodes requires -mode chain")
+		}
+		if err := checkEntries("-chainmodes", chainModes, bench.ChainModes); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func parseWorkers(workers string) ([]int, error) {
@@ -174,6 +255,47 @@ func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt t
 		return err
 	}
 	return emitSweep(res, csvPath, asJSON)
+}
+
+// runE2E drives the end-to-end scenario harness and, when asked, writes
+// or checks the correctness-count envelope. An envelope mismatch is an
+// error, so CI fails the build on functional drift in the full pipeline.
+func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, csvPath string, asJSON bool) error {
+	if scenario == "all" {
+		scenario = ""
+	}
+	res, err := bench.E2E(bench.E2EConfig{Scenarios: splitModes(scenario), Smoke: smoke})
+	if err != nil {
+		return err
+	}
+	if err := emitSweep(res, csvPath, asJSON); err != nil {
+		return err
+	}
+	if writeEnvelope != "" {
+		enc, err := json.MarshalIndent(res.Envelope(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(writeEnvelope, append(enc, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write envelope: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", writeEnvelope)
+	}
+	if envelopePath != "" {
+		raw, err := os.ReadFile(envelopePath)
+		if err != nil {
+			return fmt.Errorf("read envelope: %w", err)
+		}
+		var env bench.Envelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			return fmt.Errorf("parse envelope %s: %w", envelopePath, err)
+		}
+		if err := res.CheckEnvelope(&env); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "envelope check passed:", envelopePath)
+	}
+	return nil
 }
 
 func run(table, figure int, tools, baseline, missrate, all, quick, asJSON bool) error {

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Flag combinations must be rejected up front — an unknown scenario or
+// sweep-mode entry exits with a usage message instead of being silently
+// ignored (or worse, discovered after minutes of completed cells).
+func TestValidateSelection(t *testing.T) {
+	tests := []struct {
+		name       string
+		mode       string
+		scenario   string
+		modes      string
+		chainModes string
+		smoke      bool
+		envelope   string
+		writeEnv   string
+		wantErr    string // "" = valid
+	}{
+		{name: "paper tables", mode: ""},
+		{name: "load defaults", mode: "load"},
+		{name: "load subset", mode: "load", modes: "locked,sharded"},
+		{name: "chain subset", mode: "chain", chainModes: "naive,batched"},
+		{name: "e2e defaults", mode: "e2e"},
+		{name: "e2e all", mode: "e2e", scenario: "all", smoke: true},
+		{name: "e2e subset", mode: "e2e", scenario: "adversarial,mixed", smoke: true, envelope: "out/e2e-envelope.json"},
+
+		{name: "unknown mode", mode: "warp", wantErr: `unknown -mode "warp"`},
+		{name: "unknown scenario", mode: "e2e", scenario: "bogus", wantErr: `unknown -scenario entry "bogus"`},
+		{name: "scenario outside e2e", mode: "load", scenario: "mixed", wantErr: "-scenario requires -mode e2e"},
+		{name: "scenario all outside e2e", mode: "load", scenario: "all", wantErr: "-scenario requires -mode e2e"},
+		{name: "smoke outside e2e", mode: "chain", smoke: true, wantErr: "-smoke requires -mode e2e"},
+		{name: "envelope outside e2e", mode: "", envelope: "x.json", wantErr: "-envelope requires -mode e2e"},
+		{name: "write-envelope outside e2e", mode: "load", writeEnv: "x.json", wantErr: "-write-envelope requires -mode e2e"},
+		{name: "unknown load mode", mode: "load", modes: "locked,turbo", wantErr: `unknown -modes entry "turbo"`},
+		{name: "modes outside load", mode: "chain", modes: "locked", wantErr: "-modes requires -mode load"},
+		{name: "unknown chain mode", mode: "chain", chainModes: "warp", wantErr: `unknown -chainmodes entry "warp"`},
+		{name: "chainmodes outside chain", mode: "e2e", chainModes: "naive", wantErr: "-chainmodes requires -mode chain"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := validateSelection(tt.mode, tt.scenario, tt.modes, tt.chainModes, tt.smoke, tt.envelope, tt.writeEnv)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}

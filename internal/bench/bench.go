@@ -11,6 +11,12 @@
 //	Load         — concurrent-issuance load sweep (locked vs atomic vs
 //	               sharded vs batch pipelines; beyond the paper, see
 //	               docs/BENCHMARKS.md)
+//	Chain        — guarded-transaction verification-pipeline sweep
+//	               (naive vs wnaf vs cached vs batched)
+//	E2E          — end-to-end scenario harness: a real HTTP Token
+//	               Service, concurrent wallet clients, and batched
+//	               on-chain verification, with exact accept/reject
+//	               counts pinned by the CI envelope (e2e.go/scenario.go)
 //
 // Each function returns a structured result with a Format method printing
 // the same rows/series the paper reports. cmd/smacs-bench is the CLI front

@@ -1,0 +1,876 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/contracts"
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/rules"
+	"repro/internal/secp256k1"
+	"repro/internal/transform"
+	"repro/internal/ts"
+	"repro/internal/ts/replica"
+	"repro/internal/tshttp"
+	"repro/internal/types"
+)
+
+// E2EConfig parameterizes the end-to-end scenario harness.
+type E2EConfig struct {
+	// Scenarios restricts the run (nil = every profile of ScenarioNames).
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Smoke selects the small deterministic sizing the CI envelope pins.
+	Smoke bool `json:"smoke"`
+}
+
+// E2ECounts are the correctness counts of one scenario run. Every field is
+// deterministic for a given ScenarioConfig, so the whole struct is compared
+// exactly against the CI envelope; throughput and latency live in E2ERow
+// and are advisory-only.
+type E2ECounts struct {
+	// TokenRequests is the number of request slots clients submitted.
+	TokenRequests int `json:"tokenRequests"`
+	// TokensIssued / TokensDenied are the client-observed outcomes.
+	TokensIssued int `json:"tokensIssued"`
+	TokensDenied int `json:"tokensDenied"`
+	// TSIssued / TSRejected are the server-reported stats (GET /v1/stats),
+	// summed over every Token Service frontend the scenario ran; they must
+	// match the client-observed counts.
+	TSIssued   int `json:"tsIssued"`
+	TSRejected int `json:"tsRejected"`
+	// TxSubmitted / TxAccepted / TxRejected tally the guarded transactions
+	// fed through Chain.ApplyBatch. The first use of a replayed one-time
+	// token is legitimate and counts as accepted.
+	TxSubmitted int `json:"txSubmitted"`
+	TxAccepted  int `json:"txAccepted"`
+	TxRejected  int `json:"txRejected"`
+	// ReadsOK / ReadsFailed tally token-guarded static calls.
+	ReadsOK     int `json:"readsOK"`
+	ReadsFailed int `json:"readsFailed"`
+	// AdvAccepted counts adversarial transactions (tampered, replayed,
+	// expired) that the chain accepted — it must be zero.
+	AdvAccepted int `json:"adversarialAccepted"`
+	// RejTampered / RejReplayed / RejExpired count adversarial
+	// transactions rejected with exactly the expected reason
+	// (ErrBadTokenSig / ErrTokenUsed / ErrTokenExpired).
+	RejTampered int `json:"rejectedTampered"`
+	RejReplayed int `json:"rejectedReplayed"`
+	RejExpired  int `json:"rejectedExpired"`
+}
+
+// E2ERow is one scenario's measurement: exact correctness counts plus
+// advisory throughput and end-to-end latency percentiles. Latency is
+// measured per operation from the start of its token-acquisition
+// round-trip to the commit of its transaction (or completion of its
+// static call).
+type E2ERow struct {
+	Scenario     string  `json:"scenario"`
+	Clients      int     `json:"clients"`
+	OpsPerClient int     `json:"opsPerClient"`
+	Seconds      float64 `json:"seconds"`
+	TokensPerSec float64 `json:"tokensPerSec"`
+	TxPerSec     float64 `json:"txPerSec"`
+	P50Millis    float64 `json:"p50Millis"`
+	P95Millis    float64 `json:"p95Millis"`
+	P99Millis    float64 `json:"p99Millis"`
+
+	Counts E2ECounts `json:"counts"`
+}
+
+// E2EResult is the full harness run.
+type E2EResult struct {
+	Config E2EConfig `json:"config"`
+	Rows   []E2ERow  `json:"rows"`
+}
+
+// E2E runs the end-to-end scenario harness: for every selected scenario it
+// stands up a real Token Service over a loopback HTTP listener, drives the
+// configured wallet clients through tshttp.Client.RequestTokens, feeds the
+// signed guarded transactions into Chain.ApplyBatch (with the parallel
+// prevalidation prehook), and tallies exact accept/reject counts alongside
+// throughput and latency.
+func E2E(cfg E2EConfig) (*E2EResult, error) {
+	scenarios, err := ScenariosFor(cfg.Scenarios, cfg.Smoke)
+	if err != nil {
+		return nil, err
+	}
+	res := &E2EResult{Config: cfg}
+	for _, sc := range scenarios {
+		row, err := runScenario(sc)
+		if err != nil {
+			return nil, fmt.Errorf("e2e %s: %w", sc.Name, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// opClass labels an operation through the pipeline so its outcome can be
+// classified exactly.
+type opClass int
+
+const (
+	opWrite opClass = iota
+	opTampered
+	opReplayFirst // the legitimate first use of a to-be-replayed token
+	opReplay      // the replayed duplicate — must be rejected
+	opExpired
+)
+
+// e2eOp is one in-flight guarded transaction with its end-to-end start
+// time (the beginning of its token-acquisition round-trip).
+type e2eOp struct {
+	class opClass
+	tx    *evm.Transaction
+	start time.Time
+}
+
+// e2eAgg accumulates counts and latencies from concurrent clients and the
+// batch submitter.
+type e2eAgg struct {
+	mu     sync.Mutex
+	counts E2ECounts
+	lat    []time.Duration
+}
+
+func (a *e2eAgg) addTokens(requests, issued, denied int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.counts.TokenRequests += requests
+	a.counts.TokensIssued += issued
+	a.counts.TokensDenied += denied
+}
+
+func (a *e2eAgg) recordRead(start time.Time, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lat = append(a.lat, time.Since(start))
+	if ok {
+		a.counts.ReadsOK++
+	} else {
+		a.counts.ReadsFailed++
+	}
+}
+
+// recordTx classifies one committed batch slot. Rejections only count
+// toward their attack class when the chain reported exactly the expected
+// reason, so a drift in rejection semantics shows up as an envelope
+// mismatch even though the transaction was still rejected.
+func (a *e2eAgg) recordTx(op *e2eOp, res evm.BatchResult, end time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lat = append(a.lat, end.Sub(op.start))
+	a.counts.TxSubmitted++
+	err := res.Err
+	accepted := false
+	if err == nil {
+		accepted = res.Receipt.Status
+		if !accepted {
+			err = res.Receipt.Err
+		}
+	}
+	if accepted {
+		switch op.class {
+		case opWrite, opReplayFirst:
+			a.counts.TxAccepted++
+		default:
+			a.counts.AdvAccepted++
+		}
+		return
+	}
+	a.counts.TxRejected++
+	switch op.class {
+	case opTampered:
+		if errors.Is(err, core.ErrBadTokenSig) {
+			a.counts.RejTampered++
+		}
+	case opReplay:
+		if errors.Is(err, core.ErrTokenUsed) {
+			a.counts.RejReplayed++
+		}
+	case opExpired:
+		if errors.Is(err, core.ErrTokenExpired) {
+			a.counts.RejExpired++
+		}
+	}
+}
+
+// e2eEnv is one scenario's assembled world: the chain with its deployed
+// SMACS-enabled targets, the HTTP Token Service frontends, and the
+// submission pipeline.
+type e2eEnv struct {
+	cfg     ScenarioConfig
+	chain   *evm.Chain
+	targets []types.Address
+	gasPrc  *big.Int
+
+	client        *tshttp.Client // main Token Service
+	expiredClient *tshttp.Client // negative-lifetime frontend (expired attacks)
+
+	agg *e2eAgg
+	sub chan *e2eOp
+}
+
+// shardedCounterShards and shardedCounterBlock configure the one-time
+// index counter: 4 shards leasing 32-index blocks, a spread of 128 the
+// bitmap sizing budgets for.
+const (
+	shardedCounterShards = 4
+	shardedCounterBlock  = 32
+	e2eBitmapSlack       = 64
+	e2eGasLimit          = 4_000_000
+)
+
+// startServer exposes svc on a loopback listener and returns its base URL
+// and a shutdown function.
+func startServer(svc *ts.Service) (string, func(), error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("listen: %w", err)
+	}
+	srv := &http.Server{Handler: tshttp.NewServer(svc, "").Handler()}
+	go func() { _ = srv.Serve(l) }()
+	return "http://" + l.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+func runScenario(cfg ScenarioConfig) (E2ERow, error) {
+	if cfg.Clients < 1 || cfg.Ops < 1 {
+		return E2ERow{}, fmt.Errorf("scenario needs clients and ops, got %d×%d", cfg.Clients, cfg.Ops)
+	}
+	if cfg.TokenBatch < 1 {
+		cfg.TokenBatch = 8
+	}
+	if cfg.TxBatch < 1 {
+		cfg.TxBatch = 16
+	}
+	depth := cfg.ChainDepth
+	if cfg.Workload != WorkloadChain {
+		depth = 1
+	}
+	if depth > 1 && cfg.TamperedOps+cfg.ReplayedOps+cfg.ExpiredOps > 0 {
+		return E2ERow{}, fmt.Errorf("adversarial ops are only supported on single-target workloads")
+	}
+
+	// Keys: the Token Service, the honest clients, the denied clients,
+	// and one attacker wallet per adversarial class.
+	tsKey := secp256k1.PrivateKeyFromSeed([]byte("e2e ts key " + cfg.Name))
+	seedKey := func(role string, i int) *secp256k1.PrivateKey {
+		return secp256k1.PrivateKeyFromSeed([]byte(fmt.Sprintf("e2e %s %s %d", cfg.Name, role, i)))
+	}
+	honest := make([]*secp256k1.PrivateKey, cfg.Clients)
+	for i := range honest {
+		honest[i] = seedKey("client", i)
+	}
+	denied := make([]*secp256k1.PrivateKey, cfg.DeniedClients)
+	for i := range denied {
+		denied[i] = seedKey("denied", i)
+	}
+	tamperKey := seedKey("tamper", 0)
+	replayKey := seedKey("replay", 0)
+	expireKey := seedKey("expire", 0)
+
+	// ACRs: a sender whitelist admitting honest clients and attackers
+	// (attackers model insiders abusing legitimately issued tokens);
+	// denied clients stay off the list and must be rejected at the TS.
+	allowed := rules.NewList(rules.Whitelist)
+	for _, k := range honest {
+		allowed.Add(core.ValueKey(k.Address()))
+	}
+	for _, k := range []*secp256k1.PrivateKey{tamperKey, replayKey, expireKey} {
+		allowed.Add(core.ValueKey(k.Address()))
+	}
+	ruleSet := rules.NewRuleSet()
+	ruleSet.SetSenderList(allowed)
+
+	// One-time index counter: sharded, optionally backed by a 3-replica
+	// quorum cluster (§ VII-B).
+	var underlying ts.Counter
+	if cfg.ReplicatedCounter {
+		cluster, err := replica.NewCluster(3)
+		if err != nil {
+			return E2ERow{}, err
+		}
+		underlying = cluster.Counter()
+	}
+	counter, err := ts.NewShardedCounter(underlying, shardedCounterShards, shardedCounterBlock)
+	if err != nil {
+		return E2ERow{}, err
+	}
+
+	svc, err := ts.New(ts.Config{
+		Key:          tsKey,
+		Rules:        ruleSet,
+		Counter:      counter,
+		RequireProof: cfg.RequireProof,
+	})
+	if err != nil {
+		return E2ERow{}, err
+	}
+	base, stop, err := startServer(svc)
+	if err != nil {
+		return E2ERow{}, err
+	}
+	defer stop()
+
+	env := &e2eEnv{
+		cfg:    cfg,
+		agg:    &e2eAgg{},
+		sub:    make(chan *e2eOp, 4*cfg.TxBatch),
+		client: tshttp.NewClient(base, ""),
+		gasPrc: big.NewInt(1),
+	}
+
+	// A second frontend sharing skTS but configured with a negative
+	// lifetime issues already-expired tokens through the full HTTP path —
+	// the deterministic source of the expired-token attack class.
+	var expiredSvc *ts.Service
+	if cfg.ExpiredOps > 0 {
+		expiredSvc, err = ts.New(ts.Config{
+			Key:          tsKey,
+			Rules:        ruleSet,
+			Lifetime:     -time.Hour,
+			RequireProof: cfg.RequireProof,
+		})
+		if err != nil {
+			return E2ERow{}, err
+		}
+		expiredBase, stopExpired, err := startServer(expiredSvc)
+		if err != nil {
+			return E2ERow{}, err
+		}
+		defer stopExpired()
+		env.expiredClient = tshttp.NewClient(expiredBase, "")
+	}
+
+	// The chain and its SMACS-enabled targets. One-time tokens need the
+	// verifier to carry a bitmap sized for every index the run can issue
+	// plus the sharded counter's spread.
+	env.chain = evm.NewChain(evm.DefaultConfig())
+	verifier := core.NewVerifier(tsKey.Address())
+	oneTimeTokens := cfg.ReplayedOps
+	if cfg.OneTime {
+		oneTimeTokens += cfg.Clients * cfg.Ops * depth
+	}
+	if oneTimeTokens > 0 {
+		bits := oneTimeTokens + int(counter.MaxSpread()) + e2eBitmapSlack
+		bm, err := core.NewBitmap(bits, 1<<32)
+		if err != nil {
+			return E2ERow{}, err
+		}
+		verifier.WithBitmap(bm)
+	}
+	owner := seedKey("owner", 0)
+	deploy := func(c *evm.Contract) (types.Address, error) {
+		addr, _, err := env.chain.Deploy(owner.Address(), c)
+		return addr, err
+	}
+	switch cfg.Workload {
+	case WorkloadStorage:
+		addr, err := deploy(transform.Enable(contracts.NewSimpleStorage(), verifier))
+		if err != nil {
+			return E2ERow{}, err
+		}
+		env.targets = []types.Address{addr}
+	case WorkloadSale:
+		addr, err := deploy(transform.Enable(contracts.NewTokenSale(100), verifier))
+		if err != nil {
+			return E2ERow{}, err
+		}
+		env.targets = []types.Address{addr}
+	case WorkloadChain:
+		env.targets, err = contracts.BuildChain(deploy, depth, func(c *evm.Contract) *evm.Contract {
+			return transform.Enable(c, verifier)
+		})
+		if err != nil {
+			return E2ERow{}, err
+		}
+	default:
+		return E2ERow{}, fmt.Errorf("unknown workload %q", cfg.Workload)
+	}
+	for _, k := range honest {
+		env.chain.Fund(k.Address(), ether(1000))
+	}
+	for _, k := range []*secp256k1.PrivateKey{tamperKey, replayKey, expireKey} {
+		env.chain.Fund(k.Address(), ether(1000))
+	}
+
+	// The submitter: drains the op channel into ApplyBatch calls of
+	// TxBatch transactions, running token-signature prevalidation in the
+	// parallel pool outside the chain mutex.
+	hook := core.TokenPrehook(tsKey.Address(), env.chain.Config().ChainID)
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		pending := make([]*e2eOp, 0, cfg.TxBatch)
+		flush := func() {
+			if len(pending) == 0 {
+				return
+			}
+			txs := make([]*evm.Transaction, len(pending))
+			for i, op := range pending {
+				txs[i] = op.tx
+			}
+			results := env.chain.ApplyBatch(txs, evm.BatchOptions{
+				Workers:     cfg.Workers,
+				Prevalidate: hook,
+			})
+			end := time.Now()
+			for i, res := range results {
+				env.agg.recordTx(pending[i], res, end)
+			}
+			pending = pending[:0]
+		}
+		for op := range env.sub {
+			pending = append(pending, op)
+			if len(pending) >= cfg.TxBatch {
+				flush()
+			}
+		}
+		flush()
+	}()
+
+	// Producers: honest clients, denied clients, and the attacker wallets
+	// all run concurrently against the live HTTP service.
+	start := time.Now()
+	type producer func() error
+	producers := make([]producer, 0, cfg.Clients+cfg.DeniedClients+3)
+	for _, k := range honest {
+		k := k
+		producers = append(producers, func() error { return env.runHonest(k) })
+	}
+	for _, k := range denied {
+		k := k
+		producers = append(producers, func() error { return env.runDenied(k) })
+	}
+	if cfg.TamperedOps > 0 {
+		producers = append(producers, func() error { return env.runTampered(tamperKey) })
+	}
+	if cfg.ReplayedOps > 0 {
+		producers = append(producers, func() error { return env.runReplay(replayKey) })
+	}
+	if cfg.ExpiredOps > 0 {
+		producers = append(producers, func() error { return env.runExpired(expireKey) })
+	}
+	errs := make([]error, len(producers))
+	var wg sync.WaitGroup
+	for i, p := range producers {
+		wg.Add(1)
+		go func(i int, p producer) {
+			defer wg.Done()
+			errs[i] = p()
+		}(i, p)
+	}
+	wg.Wait()
+	close(env.sub)
+	<-subDone
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return E2ERow{}, err
+		}
+	}
+
+	// Cross-check the server-side stats over the same HTTP interface the
+	// clients used.
+	for _, cl := range []*tshttp.Client{env.client, env.expiredClient} {
+		if cl == nil {
+			continue
+		}
+		st, err := cl.Stats()
+		if err != nil {
+			return E2ERow{}, fmt.Errorf("fetch /v1/stats: %w", err)
+		}
+		env.agg.counts.TSIssued += int(st.Issued)
+		env.agg.counts.TSRejected += int(st.Rejected)
+	}
+
+	lat := env.agg.lat
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		return float64(lat[int(q*float64(len(lat)-1))].Microseconds()) / 1000
+	}
+	counts := env.agg.counts
+	return E2ERow{
+		Scenario:     cfg.Name,
+		Clients:      cfg.Clients,
+		OpsPerClient: cfg.Ops,
+		Seconds:      elapsed.Seconds(),
+		TokensPerSec: float64(counts.TokensIssued) / elapsed.Seconds(),
+		TxPerSec:     float64(counts.TxSubmitted) / elapsed.Seconds(),
+		P50Millis:    pct(0.50),
+		P95Millis:    pct(0.95),
+		P99Millis:    pct(0.99),
+		Counts:       counts,
+	}, nil
+}
+
+// opRequests builds the token requests one operation needs: one per
+// SMACS-enabled contract in the triggered call chain.
+func (e *e2eEnv) opRequests(sender types.Address, read bool) []*core.Request {
+	reqs := make([]*core.Request, 0, len(e.targets))
+	for _, target := range e.targets {
+		req := &core.Request{
+			Type:     e.cfg.TokenType,
+			Contract: target,
+			Sender:   sender,
+			OneTime:  e.cfg.OneTime,
+		}
+		if e.cfg.TokenType != core.SuperType {
+			switch {
+			case e.cfg.Workload == WorkloadChain:
+				req.Method = "relay(uint256,string)"
+			case e.cfg.Workload == WorkloadSale:
+				req.Method = "buy()"
+			case read:
+				req.Method = "get()"
+			default:
+				req.Method = "set(uint256)"
+			}
+		}
+		reqs = append(reqs, req)
+	}
+	return reqs
+}
+
+// fetchTokens signs proofs of possession when the scenario demands them,
+// submits the batch over HTTP, and tallies the per-slot outcomes.
+func (e *e2eEnv) fetchTokens(cl *tshttp.Client, key *secp256k1.PrivateKey, reqs []*core.Request) ([]ts.Result, error) {
+	if e.cfg.RequireProof {
+		for _, req := range reqs {
+			if err := core.SignRequest(req, key); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res, err := cl.RequestTokens(reqs)
+	if err != nil {
+		return nil, err
+	}
+	issued, deniedN := 0, 0
+	for _, r := range res {
+		if r.Err != nil {
+			deniedN++
+		} else {
+			issued++
+		}
+	}
+	e.agg.addTokens(len(reqs), issued, deniedN)
+	return res, nil
+}
+
+// buildTx signs one guarded write transaction carrying the token entries.
+func (e *e2eEnv) buildTx(key *secp256k1.PrivateKey, nonce uint64, entries [][]byte) (*evm.Transaction, error) {
+	tx := &evm.Transaction{
+		Nonce:    nonce,
+		To:       e.targets[0],
+		Value:    new(big.Int),
+		GasLimit: e2eGasLimit,
+		GasPrice: e.gasPrc,
+		Tokens:   entries,
+	}
+	switch e.cfg.Workload {
+	case WorkloadSale:
+		tx.Method = "buy"
+		tx.Value = big.NewInt(5)
+	case WorkloadChain:
+		tx.Method = "relay"
+		tx.Args = []any{uint64(0), "e2e"}
+	default:
+		tx.Method = "set"
+		tx.Args = []any{uint64(nonce)}
+	}
+	if err := evm.SignTx(tx, key, e.chain.Config().ChainID); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// entriesFor tags each issued token with its target contract, failing on
+// any denied slot (callers that expect denials never use it).
+func (e *e2eEnv) entriesFor(slot []ts.Result) ([][]byte, error) {
+	entries := make([][]byte, len(slot))
+	for i, r := range slot {
+		if r.Err != nil {
+			return nil, fmt.Errorf("unexpected token denial: %w", r.Err)
+		}
+		entries[i] = core.EncodeEntry(e.targets[i], r.Token)
+	}
+	return entries, nil
+}
+
+// runHonest drives one honest client: fetch tokens for a window of ops in
+// one round-trip, then submit the guarded write (or run the guarded read)
+// for each op.
+func (e *e2eEnv) runHonest(key *secp256k1.PrivateKey) error {
+	perOp := len(e.targets)
+	nonce := uint64(0)
+	for off := 0; off < e.cfg.Ops; off += e.cfg.TokenBatch {
+		n := min(e.cfg.TokenBatch, e.cfg.Ops-off)
+		start := time.Now()
+		reads := make([]bool, n)
+		reqs := make([]*core.Request, 0, n*perOp)
+		for j := 0; j < n; j++ {
+			reads[j] = e.cfg.ReadEvery > 0 && (off+j+1)%e.cfg.ReadEvery == 0
+			reqs = append(reqs, e.opRequests(key.Address(), reads[j])...)
+		}
+		res, err := e.fetchTokens(e.client, key, reqs)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < n; j++ {
+			entries, err := e.entriesFor(res[j*perOp : (j+1)*perOp])
+			if err != nil {
+				return err
+			}
+			if reads[j] {
+				_, rec, _ := e.chain.StaticCall(key.Address(), e.targets[0], "get", nil, entries)
+				e.agg.recordRead(start, rec != nil && rec.Status)
+				continue
+			}
+			tx, err := e.buildTx(key, nonce, entries)
+			if err != nil {
+				return err
+			}
+			nonce++
+			e.sub <- &e2eOp{class: opWrite, tx: tx, start: start}
+		}
+	}
+	return nil
+}
+
+// runDenied drives one non-whitelisted client: every token request must be
+// rejected by the Token Service, so no transaction is ever built. The
+// outcome lands in the TokensDenied/TSRejected counts the envelope pins.
+func (e *e2eEnv) runDenied(key *secp256k1.PrivateKey) error {
+	for off := 0; off < e.cfg.Ops; off += e.cfg.TokenBatch {
+		n := min(e.cfg.TokenBatch, e.cfg.Ops-off)
+		reqs := make([]*core.Request, 0, n)
+		for j := 0; j < n; j++ {
+			reqs = append(reqs, e.opRequests(key.Address(), false)[:1]...)
+		}
+		if _, err := e.fetchTokens(e.client, key, reqs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTampered obtains valid tokens and mutates their expiry before use:
+// the signature no longer covers the token bytes, so every transaction
+// must be rejected with ErrBadTokenSig.
+func (e *e2eEnv) runTampered(key *secp256k1.PrivateKey) error {
+	nonce := uint64(0)
+	for off := 0; off < e.cfg.TamperedOps; off += e.cfg.TokenBatch {
+		n := min(e.cfg.TokenBatch, e.cfg.TamperedOps-off)
+		start := time.Now()
+		reqs := make([]*core.Request, 0, n)
+		for j := 0; j < n; j++ {
+			reqs = append(reqs, e.opRequests(key.Address(), false)...)
+		}
+		res, err := e.fetchTokens(e.client, key, reqs)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				return fmt.Errorf("tamper attacker should be whitelisted: %w", r.Err)
+			}
+			tk := r.Token
+			tk.Expire = tk.Expire.Add(time.Hour) // breaks the signature, not the expiry check
+			tx, err := e.buildTx(key, nonce, [][]byte{core.EncodeEntry(e.targets[0], tk)})
+			if err != nil {
+				return err
+			}
+			nonce++
+			e.sub <- &e2eOp{class: opTampered, tx: tx, start: start}
+		}
+	}
+	return nil
+}
+
+// runReplay obtains one-time tokens and submits each twice: the first use
+// is legitimate, the duplicate must be rejected by the bitmap with
+// ErrTokenUsed.
+func (e *e2eEnv) runReplay(key *secp256k1.PrivateKey) error {
+	nonce := uint64(0)
+	for off := 0; off < e.cfg.ReplayedOps; off += e.cfg.TokenBatch {
+		n := min(e.cfg.TokenBatch, e.cfg.ReplayedOps-off)
+		start := time.Now()
+		reqs := make([]*core.Request, 0, n)
+		for j := 0; j < n; j++ {
+			req := e.opRequests(key.Address(), false)[0]
+			req.OneTime = true
+			reqs = append(reqs, req)
+		}
+		res, err := e.fetchTokens(e.client, key, reqs)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				return fmt.Errorf("replay attacker should be whitelisted: %w", r.Err)
+			}
+			entries := [][]byte{core.EncodeEntry(e.targets[0], r.Token)}
+			for _, class := range []opClass{opReplayFirst, opReplay} {
+				tx, err := e.buildTx(key, nonce, entries)
+				if err != nil {
+					return err
+				}
+				nonce++
+				e.sub <- &e2eOp{class: class, tx: tx, start: start}
+			}
+		}
+	}
+	return nil
+}
+
+// runExpired obtains already-expired tokens from the negative-lifetime
+// frontend; every transaction must be rejected with ErrTokenExpired.
+func (e *e2eEnv) runExpired(key *secp256k1.PrivateKey) error {
+	nonce := uint64(0)
+	for off := 0; off < e.cfg.ExpiredOps; off += e.cfg.TokenBatch {
+		n := min(e.cfg.TokenBatch, e.cfg.ExpiredOps-off)
+		start := time.Now()
+		reqs := make([]*core.Request, 0, n)
+		for j := 0; j < n; j++ {
+			reqs = append(reqs, e.opRequests(key.Address(), false)...)
+		}
+		res, err := e.fetchTokens(e.expiredClient, key, reqs)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				return fmt.Errorf("expire attacker should be whitelisted: %w", r.Err)
+			}
+			tx, err := e.buildTx(key, nonce, [][]byte{core.EncodeEntry(e.targets[0], r.Token)})
+			if err != nil {
+				return err
+			}
+			nonce++
+			e.sub <- &e2eOp{class: opExpired, tx: tx, start: start}
+		}
+	}
+	return nil
+}
+
+// Format renders the run as the end-to-end scenario table of
+// docs/BENCHMARKS.md plus one correctness-count line per scenario.
+func (r *E2EResult) Format() string {
+	var b strings.Builder
+	scale := "full"
+	if r.Config.Smoke {
+		scale = "smoke"
+	}
+	fmt.Fprintf(&b, "End-to-end scenarios (%s scale): real HTTP Token Service → wallet clients → Chain.ApplyBatch\n", scale)
+	fmt.Fprintf(&b, "  %-12s %8s %6s %9s %10s %10s %9s %9s %9s\n",
+		"scenario", "clients", "ops", "seconds", "tokens/s", "tx/s", "p50 ms", "p95 ms", "p99 ms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %8d %6d %9.3f %10.1f %10.1f %9.2f %9.2f %9.2f\n",
+			row.Scenario, row.Clients, row.OpsPerClient, row.Seconds,
+			row.TokensPerSec, row.TxPerSec, row.P50Millis, row.P95Millis, row.P99Millis)
+	}
+	b.WriteString("Correctness counts (exact; pinned by out/e2e-envelope.json in CI):\n")
+	for _, row := range r.Rows {
+		c := row.Counts
+		fmt.Fprintf(&b, "  %-12s tokens %d/%d issued/denied, tx %d/%d accepted/rejected",
+			row.Scenario, c.TokensIssued, c.TokensDenied, c.TxAccepted, c.TxRejected)
+		if c.ReadsOK+c.ReadsFailed > 0 {
+			fmt.Fprintf(&b, ", reads %d ok", c.ReadsOK)
+		}
+		if c.RejTampered+c.RejReplayed+c.RejExpired > 0 || c.AdvAccepted > 0 {
+			fmt.Fprintf(&b, ", attacks rejected %d tampered / %d replayed / %d expired, %d accepted",
+				c.RejTampered, c.RejReplayed, c.RejExpired, c.AdvAccepted)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the run as machine-readable rows (one line per scenario).
+func (r *E2EResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,clients,ops_per_client,seconds,tokens_per_sec,tx_per_sec,p50_ms,p95_ms,p99_ms," +
+		"token_requests,tokens_issued,tokens_denied,ts_issued,ts_rejected," +
+		"tx_submitted,tx_accepted,tx_rejected,reads_ok,reads_failed," +
+		"adversarial_accepted,rejected_tampered,rejected_replayed,rejected_expired\n")
+	for _, row := range r.Rows {
+		c := row.Counts
+		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.1f,%.1f,%.2f,%.2f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			row.Scenario, row.Clients, row.OpsPerClient, row.Seconds,
+			row.TokensPerSec, row.TxPerSec, row.P50Millis, row.P95Millis, row.P99Millis,
+			c.TokenRequests, c.TokensIssued, c.TokensDenied, c.TSIssued, c.TSRejected,
+			c.TxSubmitted, c.TxAccepted, c.TxRejected, c.ReadsOK, c.ReadsFailed,
+			c.AdvAccepted, c.RejTampered, c.RejReplayed, c.RejExpired)
+	}
+	return b.String()
+}
+
+// Envelope is the CI regression gate: the exact correctness counts of a
+// smoke run, checked into out/e2e-envelope.json. Throughput and latency
+// are deliberately excluded — they vary by machine and are advisory-only.
+type Envelope struct {
+	// Smoke records the scale the envelope was captured at; comparing a
+	// run at a different scale is always an error.
+	Smoke bool `json:"smoke"`
+	// Scenarios maps scenario name to its pinned counts.
+	Scenarios map[string]E2ECounts `json:"scenarios"`
+}
+
+// Envelope captures the run's counts as an envelope.
+func (r *E2EResult) Envelope() *Envelope {
+	env := &Envelope{Smoke: r.Config.Smoke, Scenarios: make(map[string]E2ECounts, len(r.Rows))}
+	for _, row := range r.Rows {
+		env.Scenarios[row.Scenario] = row.Counts
+	}
+	return env
+}
+
+// CheckEnvelope compares the run's correctness counts against a pinned
+// envelope and returns a field-level description of every drift. A result
+// covering every shipped scenario additionally requires the envelope to
+// contain exactly that scenario set.
+func (r *E2EResult) CheckEnvelope(env *Envelope) error {
+	if env.Smoke != r.Config.Smoke {
+		return fmt.Errorf("envelope scale mismatch: envelope smoke=%t, run smoke=%t", env.Smoke, r.Config.Smoke)
+	}
+	var diffs []string
+	ran := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		ran[row.Scenario] = true
+		want, ok := env.Scenarios[row.Scenario]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("scenario %q missing from envelope", row.Scenario))
+			continue
+		}
+		if want != row.Counts {
+			got, _ := json.Marshal(row.Counts)
+			exp, _ := json.Marshal(want)
+			diffs = append(diffs, fmt.Sprintf("scenario %q counts drifted:\n  want %s\n  got  %s",
+				row.Scenario, exp, got))
+		}
+	}
+	if len(ran) == len(ScenarioNames()) {
+		for name := range env.Scenarios {
+			if !ran[name] {
+				diffs = append(diffs, fmt.Sprintf("envelope pins scenario %q that no longer runs", name))
+			}
+		}
+	}
+	if len(diffs) > 0 {
+		return fmt.Errorf("e2e envelope mismatch:\n%s", strings.Join(diffs, "\n"))
+	}
+	return nil
+}

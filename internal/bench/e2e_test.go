@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// runScenarioT runs one named scenario at smoke scale and returns its row.
+func runScenarioT(t *testing.T, name string) E2ERow {
+	t.Helper()
+	cfg, err := ScenarioByName(name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := runScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return row
+}
+
+// Every shipped scenario must produce exactly its expected correctness
+// counts at smoke scale — the same invariant the CI envelope pins, asserted
+// here per scenario so a drift is attributed to the failing profile.
+func TestE2EScenarioCounts(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg, err := ScenarioByName(name, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := runScenarioT(t, name)
+			if want := cfg.ExpectedCounts(); row.Counts != want {
+				t.Errorf("counts = %+v\nwant     %+v", row.Counts, want)
+			}
+			if row.Counts.TSIssued != row.Counts.TokensIssued {
+				t.Errorf("server reported %d issued tokens, clients observed %d",
+					row.Counts.TSIssued, row.Counts.TokensIssued)
+			}
+		})
+	}
+}
+
+// The adversarial flood is the paper's security argument run end-to-end:
+// tampered, replayed, and expired tokens all flow through the real HTTP
+// issuance path and the batched verification pipeline concurrently with
+// honest traffic, and not one may be accepted. CI additionally runs this
+// under -race (attackers, honest clients, and the batch submitter all
+// share the chain and the HTTP service).
+func TestE2EAdversarialFloodRejectsEveryAttack(t *testing.T) {
+	row := runScenarioT(t, "adversarial")
+	c := row.Counts
+	if c.AdvAccepted != 0 {
+		t.Fatalf("%d adversarial transactions were accepted; want 0", c.AdvAccepted)
+	}
+	if c.RejTampered == 0 || c.RejReplayed == 0 || c.RejExpired == 0 {
+		t.Fatalf("every attack class must be exercised and rejected, got %+v", c)
+	}
+	if c.TxRejected != c.RejTampered+c.RejReplayed+c.RejExpired {
+		t.Errorf("rejections with unexpected reasons: %d total vs %d classified",
+			c.TxRejected, c.RejTampered+c.RejReplayed+c.RejExpired)
+	}
+}
+
+func TestE2EUnknownScenario(t *testing.T) {
+	if _, err := E2E(E2EConfig{Scenarios: []string{"nope"}, Smoke: true}); err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+	if _, err := ScenariosFor([]string{"mixed", "mixed"}, true); err == nil {
+		t.Fatal("duplicate scenario should fail")
+	}
+}
+
+// CheckEnvelope must flag drifted counts, missing scenarios, and scale
+// mismatches — the exact failure modes the CI gate exists for.
+func TestE2ECheckEnvelope(t *testing.T) {
+	res := &E2EResult{Config: E2EConfig{Smoke: true}}
+	for _, name := range ScenarioNames() {
+		cfg, err := ScenarioByName(name, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Rows = append(res.Rows, E2ERow{Scenario: name, Counts: cfg.ExpectedCounts()})
+	}
+	env := res.Envelope()
+	if err := res.CheckEnvelope(env); err != nil {
+		t.Fatalf("self-envelope should pass: %v", err)
+	}
+
+	drift := res.Envelope()
+	c := drift.Scenarios["adversarial"]
+	c.AdvAccepted = 1
+	drift.Scenarios["adversarial"] = c
+	err := res.CheckEnvelope(drift)
+	if err == nil || !strings.Contains(err.Error(), "adversarial") {
+		t.Fatalf("drifted envelope should name the scenario, got %v", err)
+	}
+
+	missing := res.Envelope()
+	delete(missing.Scenarios, "mixed")
+	if err := res.CheckEnvelope(missing); err == nil {
+		t.Fatal("missing scenario should fail")
+	}
+
+	extra := res.Envelope()
+	extra.Scenarios["retired"] = E2ECounts{}
+	if err := res.CheckEnvelope(extra); err == nil {
+		t.Fatal("stale envelope entry should fail when all scenarios ran")
+	}
+
+	scale := res.Envelope()
+	scale.Smoke = false
+	if err := res.CheckEnvelope(scale); err == nil {
+		t.Fatal("scale mismatch should fail")
+	}
+}
+
+// The CSV must carry one line per scenario plus the header, with the
+// correctness columns intact (CI uploads it as a workflow artifact).
+func TestE2ECSVShape(t *testing.T) {
+	row := runScenarioT(t, "quickstart")
+	res := &E2EResult{Config: E2EConfig{Smoke: true}, Rows: []E2ERow{row}}
+	lines := strings.Split(strings.TrimSpace(res.CSV()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	cells := strings.Split(lines[1], ",")
+	if len(header) != len(cells) {
+		t.Fatalf("header has %d columns, row has %d", len(header), len(cells))
+	}
+	if !strings.HasPrefix(lines[1], "quickstart,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}

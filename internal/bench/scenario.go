@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Workload names select the contract topology an e2e scenario drives.
+const (
+	// WorkloadStorage targets a SMACS-enabled SimpleStorage (set/get).
+	WorkloadStorage = "storage"
+	// WorkloadSale targets a SMACS-enabled TokenSale (payable buy).
+	WorkloadSale = "sale"
+	// WorkloadChain targets a chain of SMACS-enabled relay links
+	// (§ IV-D call chains); every hop verifies its own token.
+	WorkloadChain = "chain"
+)
+
+// ScenarioConfig declaratively describes one end-to-end scenario: how many
+// wallet clients run, what tokens they obtain from the (real, HTTP) Token
+// Service, which contract topology the signed guarded transactions hit,
+// and how many adversarial operations ride along. Every field that affects
+// correctness counts is deterministic, so a scenario's accept/reject
+// tallies can be pinned in the CI envelope (out/e2e-envelope.json).
+type ScenarioConfig struct {
+	// Name identifies the scenario (see ScenarioNames).
+	Name string `json:"name"`
+	// Description is a one-line summary printed by Format.
+	Description string `json:"description"`
+	// Workload selects the contract topology (storage, sale, chain).
+	Workload string `json:"workload"`
+	// Clients is the number of concurrent honest wallet clients.
+	Clients int `json:"clients"`
+	// Ops is the number of operations each honest client performs.
+	Ops int `json:"opsPerClient"`
+	// TokenType is the token type honest writes request.
+	TokenType core.TokenType `json:"tokenType"`
+	// OneTime requests the one-time property on honest tokens (requires
+	// the target verifier to carry a bitmap, which the harness attaches).
+	OneTime bool `json:"oneTime"`
+	// ChainDepth is the number of relay links (chain workload only).
+	ChainDepth int `json:"chainDepth,omitempty"`
+	// ReadEvery makes every ReadEvery-th op of a client a token-guarded
+	// read served through Chain.StaticCall (0 = writes only).
+	ReadEvery int `json:"readEvery,omitempty"`
+	// DeniedClients is the number of extra clients left off the sender
+	// whitelist: each performs Ops token requests that the Token Service
+	// must all reject.
+	DeniedClients int `json:"deniedClients,omitempty"`
+	// TamperedOps is the number of adversarial ops that obtain a valid
+	// token and mutate it before use; all must be rejected on-chain.
+	TamperedOps int `json:"tamperedOps,omitempty"`
+	// ReplayedOps is the number of adversarial ops that use a one-time
+	// token once (legitimately) and then replay it; every replay must be
+	// rejected on-chain.
+	ReplayedOps int `json:"replayedOps,omitempty"`
+	// ExpiredOps is the number of adversarial ops that obtain an
+	// already-expired token (from a Token Service frontend whose
+	// configured lifetime is negative); all must be rejected on-chain.
+	ExpiredOps int `json:"expiredOps,omitempty"`
+	// ReplicatedCounter backs the sharded one-time counter with a
+	// 3-replica quorum cluster (§ VII-B) instead of a local counter.
+	ReplicatedCounter bool `json:"replicatedCounter,omitempty"`
+	// RequireProof demands a proof of possession on every token request,
+	// exercising the client-side request signing over HTTP.
+	RequireProof bool `json:"requireProof,omitempty"`
+	// TokenBatch is the number of ops whose tokens a client fetches per
+	// POST /v1/tokens round-trip.
+	TokenBatch int `json:"tokenBatch"`
+	// TxBatch is the number of signed transactions per Chain.ApplyBatch
+	// call.
+	TxBatch int `json:"txBatch"`
+	// Workers is the prevalidation worker count handed to ApplyBatch
+	// (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// ScenarioNames lists the shipped scenario profiles in run order.
+func ScenarioNames() []string {
+	return []string{"quickstart", "tokensale", "callchain", "adversarial", "mixed"}
+}
+
+// ScenarioByName returns the named scenario profile at smoke scale (small,
+// deterministic, CI-friendly) or full scale (large enough for meaningful
+// throughput numbers).
+func ScenarioByName(name string, smoke bool) (ScenarioConfig, error) {
+	pick := func(smokeN, fullN int) int {
+		if smoke {
+			return smokeN
+		}
+		return fullN
+	}
+	switch name {
+	case "quickstart":
+		return ScenarioConfig{
+			Name:        "quickstart",
+			Description: "single-rule whitelist, method tokens, guarded set() writes",
+			Workload:    WorkloadStorage,
+			Clients:     pick(4, 8),
+			Ops:         pick(6, 150),
+			TokenType:   core.MethodType,
+			TokenBatch:  8,
+			TxBatch:     16,
+		}, nil
+	case "tokensale":
+		return ScenarioConfig{
+			Name: "tokensale",
+			Description: "sale rush: one-time super tokens, proof of possession, " +
+				"replica-quorum counter, non-whitelisted buyers denied",
+			Workload:          WorkloadSale,
+			Clients:           pick(4, 12),
+			Ops:               pick(5, 75),
+			TokenType:         core.SuperType,
+			OneTime:           true,
+			DeniedClients:     pick(2, 4),
+			ReplicatedCounter: true,
+			RequireProof:      true,
+			TokenBatch:        5,
+			TxBatch:           16,
+		}, nil
+	case "callchain":
+		return ScenarioConfig{
+			Name:        "callchain",
+			Description: "multi-contract relay chain, one method token per hop",
+			Workload:    WorkloadChain,
+			Clients:     pick(3, 6),
+			Ops:         pick(4, 60),
+			TokenType:   core.MethodType,
+			ChainDepth:  3,
+			TokenBatch:  4,
+			TxBatch:     8,
+		}, nil
+	case "adversarial":
+		return ScenarioConfig{
+			Name: "adversarial",
+			Description: "flood of tampered, replayed, and expired tokens " +
+				"riding alongside honest traffic; every attack must be rejected",
+			Workload:    WorkloadStorage,
+			Clients:     pick(2, 4),
+			Ops:         pick(4, 50),
+			TokenType:   core.MethodType,
+			TamperedOps: pick(6, 100),
+			ReplayedOps: pick(6, 100),
+			ExpiredOps:  pick(6, 100),
+			TokenBatch:  6,
+			TxBatch:     16,
+		}, nil
+	case "mixed":
+		return ScenarioConfig{
+			Name:        "mixed",
+			Description: "interleaved read/write workload: guarded set() txs and get() static calls",
+			Workload:    WorkloadStorage,
+			Clients:     pick(4, 8),
+			Ops:         pick(8, 120),
+			TokenType:   core.MethodType,
+			ReadEvery:   2,
+			TokenBatch:  8,
+			TxBatch:     16,
+		}, nil
+	default:
+		return ScenarioConfig{}, fmt.Errorf("bench: unknown scenario %q (supported: %s)",
+			name, strings.Join(ScenarioNames(), ", "))
+	}
+}
+
+// ScenariosFor resolves a list of scenario names (nil or empty = all
+// profiles) into configs, rejecting unknown and duplicate names.
+func ScenariosFor(names []string, smoke bool) ([]ScenarioConfig, error) {
+	if len(names) == 0 {
+		names = ScenarioNames()
+	}
+	seen := make(map[string]bool, len(names))
+	out := make([]ScenarioConfig, 0, len(names))
+	for _, name := range names {
+		if seen[name] {
+			return nil, fmt.Errorf("bench: scenario %q listed twice", name)
+		}
+		seen[name] = true
+		cfg, err := ScenarioByName(name, smoke)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// ExpectedCounts returns the correctness counts a healthy pipeline must
+// produce for the scenario: what the CI envelope pins and the smoke tests
+// assert. Token and transaction outcomes are fully determined by the
+// config; throughput and latency are not (and are advisory-only).
+func (c ScenarioConfig) ExpectedCounts() E2ECounts {
+	tokensPerOp := 1
+	if c.Workload == WorkloadChain {
+		tokensPerOp = c.ChainDepth
+	}
+	reads := 0
+	if c.ReadEvery > 0 {
+		for op := 0; op < c.Ops; op++ {
+			if (op+1)%c.ReadEvery == 0 {
+				reads++
+			}
+		}
+		reads *= c.Clients
+	}
+	writes := c.Clients*c.Ops - reads
+	honestTokens := c.Clients * c.Ops * tokensPerOp
+	advTokens := c.TamperedOps + c.ReplayedOps + c.ExpiredOps
+	deniedTokens := c.DeniedClients * c.Ops
+	return E2ECounts{
+		TokenRequests: honestTokens + advTokens + deniedTokens,
+		TokensIssued:  honestTokens + advTokens,
+		TokensDenied:  deniedTokens,
+		TSIssued:      honestTokens + advTokens,
+		TSRejected:    deniedTokens,
+		TxSubmitted:   writes + c.TamperedOps + 2*c.ReplayedOps + c.ExpiredOps,
+		TxAccepted:    writes + c.ReplayedOps, // first use of a replayed token is legitimate
+		TxRejected:    advTokens,
+		ReadsOK:       reads,
+		RejTampered:   c.TamperedOps,
+		RejReplayed:   c.ReplayedOps,
+		RejExpired:    c.ExpiredOps,
+	}
+}

@@ -38,6 +38,28 @@ func reencode(t *testing.T, v Value) {
 	}
 }
 
+// FuzzDecode is the native fuzz target behind the CI fuzz-smoke step
+// (go test -fuzz FuzzDecode -fuzztime 10s ./internal/rlp): the decoder
+// must fail cleanly on arbitrary bytes, and whatever it accepts must
+// re-encode without panicking.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})                                           // empty string
+	f.Add([]byte{0x7f})                                           // single byte
+	f.Add([]byte{0xc1, 0x80})                                     // list of one empty string
+	f.Add([]byte{0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'}) // ["cat","dog"]
+	f.Add([]byte{0xb8, 0x38})                                     // truncated long string
+	f.Add([]byte{0xc1, 0xc1, 0xc1, 0x80})                         // nested lists
+	f.Add([]byte{0xf8, 0xff, 0x00})                               // long list, bad length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		reencode(t, v)
+	})
+}
+
 // TestDecodeDepthBomb guards against stack exhaustion from deeply nested
 // lists.
 func TestDecodeDepthBomb(t *testing.T) {

@@ -78,6 +78,10 @@ type Config struct {
 	// Rules is the initial ACR set; nil means allow-all.
 	Rules *rules.RuleSet
 	// Lifetime is the token validity window (0 = DefaultTokenLifetime).
+	// A negative lifetime is allowed and issues already-expired tokens:
+	// adversarial harnesses (bench's e2e "adversarial" scenario) run such
+	// a frontend alongside the real one to prove expired tokens are
+	// rejected on-chain no matter how they were obtained.
 	Lifetime time.Duration
 	// Counter allocates one-time indexes (nil = a fresh LocalCounter).
 	Counter Counter

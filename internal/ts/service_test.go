@@ -248,3 +248,26 @@ func TestNewRequiresKey(t *testing.T) {
 		t.Error("service without key accepted")
 	}
 }
+
+// A negative configured lifetime issues already-expired tokens — the
+// behavior adversarial harnesses depend on to source deterministic
+// expired-token floods (see bench's e2e scenarios). Pinned here so a
+// future "fix" does not silently turn the flood into valid tokens.
+func TestNegativeLifetimeIssuesExpiredTokens(t *testing.T) {
+	s := newService(t, Config{Lifetime: -time.Hour})
+	tk, err := s.Issue(&core.Request{Type: core.SuperType, Contract: target, Sender: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExpire := fixedNow().Add(-time.Hour)
+	if !tk.Expire.Equal(wantExpire) {
+		t.Errorf("expire = %v, want %v", tk.Expire, wantExpire)
+	}
+	if !tk.Expire.Before(fixedNow()) {
+		t.Error("token should already be expired at issuance time")
+	}
+	// The signature is still genuine: only the expiry check fails.
+	if err := tk.VerifySignature(s.Address(), core.Binding{Origin: client, Contract: target}); err != nil {
+		t.Errorf("expired token should still carry a valid signature: %v", err)
+	}
+}

@@ -199,6 +199,35 @@ func (c *Client) Info() (Info, error) {
 	return info, nil
 }
 
+// Stats are the aggregate issuance counters of a Token Service instance.
+// Like ts.Service.Stats, the pair is read without a lock on the server, so
+// under concurrent issuance the two values may be offset by in-flight
+// requests; after traffic quiesces they are exact (the e2e harness relies
+// on that to cross-check client-observed counts).
+type Stats struct {
+	// Issued is the number of token requests the service granted.
+	Issued uint64 `json:"issued"`
+	// Rejected is the number it denied (rules, validators, bad requests).
+	Rejected uint64 `json:"rejected"`
+}
+
+// Stats fetches the service's aggregate issued/rejected counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return Stats{}, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, errorFromResponse(resp, "stats request failed")
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
 // UpdateRules replaces the service's ACRs (owner only).
 func (c *Client) UpdateRules(rs *rules.RuleSet) error {
 	body, err := json.Marshal(rs)

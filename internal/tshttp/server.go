@@ -20,6 +20,7 @@ import (
 //	POST /v1/token   — request a token (clients)
 //	POST /v1/tokens  — request a batch of tokens in one round-trip
 //	GET  /v1/info    — service address and token lifetime (public)
+//	GET  /v1/stats   — aggregate issued/rejected counters (public)
 //	GET  /v1/rules   — current ACRs (owner only: rules stay private)
 //	PUT  /v1/rules   — replace the ACRs (owner only)
 //	GET  /healthz    — liveness
@@ -37,6 +38,7 @@ func NewServer(svc *ts.Service, ownerToken string) *Server {
 	s.mux.HandleFunc("POST /v1/token", s.handleToken)
 	s.mux.HandleFunc("POST /v1/tokens", s.handleTokenBatch)
 	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/rules", s.ownerOnly(s.handleGetRules))
 	s.mux.HandleFunc("PUT /v1/rules", s.ownerOnly(s.handlePutRules))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -158,6 +160,11 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		"address":         s.svc.Address().Hex(),
 		"lifetimeSeconds": int64(s.svc.Lifetime().Seconds()),
 	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	issued, rejected := s.svc.Stats()
+	writeJSON(w, http.StatusOK, Stats{Issued: issued, Rejected: rejected})
 }
 
 func (s *Server) handleGetRules(w http.ResponseWriter, r *http.Request) {

@@ -226,3 +226,39 @@ func TestEncodeDecodeArgRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// GET /v1/stats reports the service's aggregate counters; after traffic
+// quiesces they must match the outcomes clients observed.
+func TestStatsOverHTTP(t *testing.T) {
+	srv, svc := newTestServer(t, "")
+	client := NewClient(srv.URL, "")
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Issued != 0 || st.Rejected != 0 {
+		t.Errorf("fresh service stats = %+v, want zeros", st)
+	}
+
+	if _, err := client.RequestToken(&core.Request{Type: core.SuperType, Contract: httpDst, Sender: httpCli}); err != nil {
+		t.Fatal(err)
+	}
+	// A malformed request (super tokens carry no method) must be rejected
+	// and counted.
+	if _, err := client.RequestToken(&core.Request{Type: core.SuperType, Contract: httpDst, Sender: httpCli, Method: "x()"}); err == nil {
+		t.Fatal("malformed request unexpectedly issued")
+	}
+
+	st, err = client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Issued != 1 || st.Rejected != 1 {
+		t.Errorf("stats = %+v, want issued 1 rejected 1", st)
+	}
+	wantIssued, wantRejected := svc.Stats()
+	if st.Issued != wantIssued || st.Rejected != wantRejected {
+		t.Errorf("HTTP stats %+v disagree with service stats (%d, %d)", st, wantIssued, wantRejected)
+	}
+}
