@@ -17,13 +17,19 @@
 //	smacs-bench -mode chain      # guarded-tx verification-pipeline sweep
 //	smacs-bench -mode chain -txs 192 -senders 16 -workers 1,4,8 \
 //	    -chainmodes naive,wnaf,cached,batched -csv out/chain.csv
+//	smacs-bench -mode load -store file -fsync-batch 16   # durable WAL-backed counter
 //	smacs-bench -mode e2e        # end-to-end scenarios (HTTP TS → clients → chain)
 //	smacs-bench -mode e2e -scenario adversarial -smoke
+//	smacs-bench -mode e2e -scenario durable -smoke       # crash + WAL recovery mid-run
 //	smacs-bench -mode e2e -smoke -envelope out/e2e-envelope.json   # CI gate
 //
 // Flag combinations are validated up front: an unknown -scenario, or
 // unknown entries in -modes/-chainmodes, exit with status 2 and a usage
 // message instead of being silently ignored.
+//
+// Interrupting a sweep (SIGINT/SIGTERM) flushes every completed row as a
+// valid partial table/JSON — and partial CSV when -csv is set — before
+// exiting with status 130, so long sweeps never discard finished cells.
 package main
 
 import (
@@ -31,8 +37,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -67,24 +76,42 @@ func main() {
 		smoke         = flag.Bool("smoke", false, "e2e: small deterministic sizing (the scale the CI envelope pins)")
 		envelopePath  = flag.String("envelope", "", "e2e: compare correctness counts against this envelope JSON and fail on drift")
 		writeEnvelope = flag.String("write-envelope", "", "e2e: write the run's correctness counts as an envelope JSON to this path")
+
+		storeKind  = flag.String("store", "mem", `load: counter persistence, "mem" or "file" (a durable WAL-backed store.Counter)`)
+		dirPath    = flag.String("dir", "", "load/e2e: directory for file-backed WALs and snapshots (empty: a temp dir)")
+		fsyncBatch = flag.Int("fsync-batch", 0, "load/e2e: appends coalesced per fsync in file-backed stores (0: store default)")
 	)
 	flag.Parse()
 
-	if err := validateSelection(*mode, *scenario, *modes, *chainModes, *smoke, *envelopePath, *writeEnvelope); err != nil {
+	if err := validateSelection(*mode, *scenario, *modes, *chainModes, *smoke, *envelopePath, *writeEnvelope, *storeKind, *dirPath, *fsyncBatch); err != nil {
 		fmt.Fprintln(os.Stderr, "smacs-bench:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	if *mode != "" {
+		// A SIGINT (or SIGTERM) mid-sweep flushes every completed row as
+		// a valid partial table/JSON/CSV before exiting, instead of
+		// discarding minutes of finished cells.
+		flusher := &partialFlusher{csvPath: *csvPath, asJSON: *asJSON}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			flusher.flush()
+			os.Exit(130)
+		}()
+
 		var err error
 		switch *mode {
 		case "load":
-			err = runLoad(*workers, *duration, *warmup, *onetime, *rtt, *batch, *modes, *csvPath, *asJSON)
+			err = runLoad(*workers, *duration, *warmup, *onetime, *rtt, *batch, *modes,
+				*storeKind, *dirPath, *fsyncBatch, *csvPath, *asJSON, flusher)
 		case "chain":
-			err = runChain(*workers, *txs, *senders, *batch, *chainModes, *csvPath, *asJSON)
+			err = runChain(*workers, *txs, *senders, *batch, *chainModes, *csvPath, *asJSON, flusher)
 		case "e2e":
-			err = runE2E(*scenario, *smoke, *envelopePath, *writeEnvelope, *csvPath, *asJSON)
+			err = runE2E(*scenario, *smoke, *envelopePath, *writeEnvelope,
+				*dirPath, *fsyncBatch, *csvPath, *asJSON, flusher)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smacs-bench:", err)
@@ -107,11 +134,28 @@ func main() {
 // -chainmodes entries, and e2e-only flags outside -mode e2e. Catching
 // these up front means a typo exits with a usage message instead of
 // silently discarding minutes of completed sweep cells.
-func validateSelection(mode, scenario, modes, chainModes string, smoke bool, envelopePath, writeEnvelope string) error {
+func validateSelection(mode, scenario, modes, chainModes string, smoke bool, envelopePath, writeEnvelope, storeKind, dirPath string, fsyncBatch int) error {
 	switch mode {
 	case "", "load", "chain", "e2e":
 	default:
 		return fmt.Errorf("unknown -mode %q (supported: load, chain, e2e)", mode)
+	}
+	switch storeKind {
+	case "mem", "file":
+	default:
+		return fmt.Errorf("unknown -store %q (supported: mem, file)", storeKind)
+	}
+	if storeKind == "file" && mode != "load" {
+		return fmt.Errorf("-store file requires -mode load (the e2e durable scenario is always file-backed)")
+	}
+	if dirPath != "" && mode != "e2e" && storeKind != "file" {
+		return fmt.Errorf("-dir requires -store file or -mode e2e")
+	}
+	if fsyncBatch != 0 && mode != "e2e" && storeKind != "file" {
+		return fmt.Errorf("-fsync-batch requires -store file or -mode e2e")
+	}
+	if fsyncBatch < 0 {
+		return fmt.Errorf("-fsync-batch must be ≥ 0, got %d", fsyncBatch)
 	}
 	checkEntries := func(flagName, entries string, supported []string) error {
 		valid := make(map[string]bool, len(supported))
@@ -199,6 +243,39 @@ type sweepResult interface {
 	CSV() string
 }
 
+// partialFlusher holds a snapshot of the completed sweep rows so the
+// signal handler can emit a valid partial result — table or JSON, plus
+// the -csv file — when the process is interrupted mid-sweep. The runners
+// update it from each sweep's OnRow callback; set copies nothing (each
+// snapshot is freshly built by the caller), it only swaps the pointer
+// under the mutex the handler reads through.
+type partialFlusher struct {
+	mu      sync.Mutex
+	res     sweepResult
+	csvPath string
+	asJSON  bool
+}
+
+func (p *partialFlusher) set(res sweepResult) {
+	p.mu.Lock()
+	p.res = res
+	p.mu.Unlock()
+}
+
+func (p *partialFlusher) flush() {
+	p.mu.Lock()
+	res := p.res
+	p.mu.Unlock()
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "smacs-bench: interrupted before any sweep row completed")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "smacs-bench: interrupted; flushing completed rows")
+	if err := emitSweep(res, p.csvPath, p.asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "smacs-bench:", err)
+	}
+}
+
 // emitSweep prints a sweep (table or JSON) and optionally writes its CSV.
 func emitSweep(res sweepResult, csvPath string, asJSON bool) error {
 	if asJSON {
@@ -219,7 +296,7 @@ func emitSweep(res sweepResult, csvPath string, asJSON bool) error {
 	return nil
 }
 
-func runChain(workers string, txs, senders, batch int, modes, csvPath string, asJSON bool) error {
+func runChain(workers string, txs, senders, batch int, modes, csvPath string, asJSON bool, flusher *partialFlusher) error {
 	cfg := bench.ChainConfig{
 		Txs:       txs,
 		Senders:   senders,
@@ -230,6 +307,11 @@ func runChain(workers string, txs, senders, batch int, modes, csvPath string, as
 	if cfg.Workers, err = parseWorkers(workers); err != nil {
 		return err
 	}
+	var rows []bench.ChainRow
+	cfg.OnRow = func(r bench.ChainRow) {
+		rows = append(rows, r)
+		flusher.set(&bench.ChainResult{Config: cfg, Rows: append([]bench.ChainRow(nil), rows...)})
+	}
 	res, err := bench.Chain(cfg)
 	if err != nil {
 		return err
@@ -237,19 +319,27 @@ func runChain(workers string, txs, senders, batch int, modes, csvPath string, as
 	return emitSweep(res, csvPath, asJSON)
 }
 
-func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt time.Duration, batch int, modes, csvPath string, asJSON bool) error {
+func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt time.Duration, batch int, modes, storeKind, dir string, fsyncBatch int, csvPath string, asJSON bool, flusher *partialFlusher) error {
 	cfg := bench.LoadConfig{
-		Duration:  duration,
-		Warmup:    warmup,
-		OneTime:   onetime,
-		BatchSize: batch,
-		RTT:       rtt,
+		Duration:   duration,
+		Warmup:     warmup,
+		OneTime:    onetime,
+		BatchSize:  batch,
+		RTT:        rtt,
+		Store:      storeKind,
+		Dir:        dir,
+		FsyncBatch: fsyncBatch,
 	}
 	var err error
 	if cfg.Workers, err = parseWorkers(workers); err != nil {
 		return err
 	}
 	cfg.Modes = splitModes(modes)
+	var rows []bench.LoadRow
+	cfg.OnRow = func(r bench.LoadRow) {
+		rows = append(rows, r)
+		flusher.set(&bench.LoadResult{Config: cfg, Rows: append([]bench.LoadRow(nil), rows...)})
+	}
 	res, err := bench.Load(cfg)
 	if err != nil {
 		return err
@@ -260,11 +350,22 @@ func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt t
 // runE2E drives the end-to-end scenario harness and, when asked, writes
 // or checks the correctness-count envelope. An envelope mismatch is an
 // error, so CI fails the build on functional drift in the full pipeline.
-func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, csvPath string, asJSON bool) error {
+func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, dir string, fsyncBatch int, csvPath string, asJSON bool, flusher *partialFlusher) error {
 	if scenario == "all" {
 		scenario = ""
 	}
-	res, err := bench.E2E(bench.E2EConfig{Scenarios: splitModes(scenario), Smoke: smoke})
+	cfg := bench.E2EConfig{
+		Scenarios:  splitModes(scenario),
+		Smoke:      smoke,
+		Dir:        dir,
+		FsyncBatch: fsyncBatch,
+	}
+	var rows []bench.E2ERow
+	cfg.OnRow = func(r bench.E2ERow) {
+		rows = append(rows, r)
+		flusher.set(&bench.E2EResult{Config: cfg, Rows: append([]bench.E2ERow(nil), rows...)})
+	}
+	res, err := bench.E2E(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,9 +1,83 @@
 package main
 
 import (
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
+
+// TestMain lets this test binary impersonate the smacs-bench CLI: when
+// SMACS_BENCH_BE_MAIN is set, it rewrites os.Args from SMACS_BENCH_ARGS
+// and runs main() instead of the tests. The SIGINT test below re-execs
+// itself through this hook, so the real signal handler is exercised in a
+// real child process without a separate go build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("SMACS_BENCH_BE_MAIN") == "1" {
+		os.Args = append([]string{"smacs-bench"}, strings.Fields(os.Getenv("SMACS_BENCH_ARGS"))...)
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// A SIGINT mid-sweep must exit with status 130 AND leave a valid partial
+// CSV behind — the regression was an interrupt discarding every completed
+// cell. The child runs a load sweep sized so that at interrupt time some
+// cells are finished and some are not.
+func TestSIGINTFlushesPartialResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a multi-second child sweep")
+	}
+	csvPath := filepath.Join(t.TempDir(), "partial.csv")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"SMACS_BENCH_BE_MAIN=1",
+		// 4 modes × 2 worker counts ≈ 8 cells of ~1.1 s each: far from
+		// done when the interrupt lands, with several cells completed.
+		"SMACS_BENCH_ARGS=-mode load -workers 1,2 -duration 1s -warmup 100ms -rtt 0 -csv "+csvPath,
+	)
+	var output strings.Builder
+	cmd.Stdout = &output
+	cmd.Stderr = &output
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Enough wall clock for ≥2 cells; the sweep needs ~9 s in total.
+	time.Sleep(3 * time.Second)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	err := cmd.Wait()
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child did not exit with an error status (err=%v); output:\n%s", err, output.String())
+	}
+	if code := exitErr.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d, want 130; output:\n%s", code, output.String())
+	}
+	raw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("interrupt flushed no CSV: %v; output:\n%s", err, output.String())
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("partial CSV has %d lines, want header plus ≥1 completed row:\n%s", len(lines), raw)
+	}
+	if !strings.HasPrefix(lines[0], "mode,workers") {
+		t.Fatalf("partial CSV header = %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if cells := strings.Split(line, ","); len(cells) != len(strings.Split(lines[0], ",")) {
+			t.Fatalf("ragged partial CSV row %q", line)
+		}
+	}
+	if !strings.Contains(output.String(), "flushing completed rows") {
+		t.Errorf("child did not announce the partial flush; output:\n%s", output.String())
+	}
+}
 
 // Flag combinations must be rejected up front — an unknown scenario or
 // sweep-mode entry exits with a usage message instead of being silently
@@ -18,6 +92,9 @@ func TestValidateSelection(t *testing.T) {
 		smoke      bool
 		envelope   string
 		writeEnv   string
+		store      string // "" maps to the "mem" flag default
+		dir        string
+		fsyncBatch int
 		wantErr    string // "" = valid
 	}{
 		{name: "paper tables", mode: ""},
@@ -39,10 +116,22 @@ func TestValidateSelection(t *testing.T) {
 		{name: "modes outside load", mode: "chain", modes: "locked", wantErr: "-modes requires -mode load"},
 		{name: "unknown chain mode", mode: "chain", chainModes: "warp", wantErr: `unknown -chainmodes entry "warp"`},
 		{name: "chainmodes outside chain", mode: "e2e", chainModes: "naive", wantErr: "-chainmodes requires -mode chain"},
+
+		{name: "load file store", mode: "load", store: "file", dir: "/tmp/w", fsyncBatch: 16},
+		{name: "e2e durable dir", mode: "e2e", scenario: "durable", smoke: true, dir: "/tmp/w", fsyncBatch: 128},
+		{name: "unknown store", mode: "load", store: "tape", wantErr: `unknown -store "tape"`},
+		{name: "file store outside load", mode: "chain", store: "file", wantErr: "-store file requires -mode load"},
+		{name: "dir without file store", mode: "load", dir: "/tmp/w", wantErr: "-dir requires -store file or -mode e2e"},
+		{name: "fsync-batch without file store", mode: "chain", fsyncBatch: 8, wantErr: "-fsync-batch requires -store file or -mode e2e"},
+		{name: "negative fsync-batch", mode: "load", store: "file", fsyncBatch: -1, wantErr: "-fsync-batch must be ≥ 0"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := validateSelection(tt.mode, tt.scenario, tt.modes, tt.chainModes, tt.smoke, tt.envelope, tt.writeEnv)
+			store := tt.store
+			if store == "" {
+				store = "mem"
+			}
+			err := validateSelection(tt.mode, tt.scenario, tt.modes, tt.chainModes, tt.smoke, tt.envelope, tt.writeEnv, store, tt.dir, tt.fsyncBatch)
 			if tt.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

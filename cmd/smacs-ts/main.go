@@ -7,6 +7,14 @@
 //	smacs-ts -addr :8546 -key-seed my-service -rules rules.json \
 //	         -owner-token s3cret -lifetime 1h
 //
+// With -store file the one-time index counter survives restarts: every
+// leased index block is journaled to a group-commit WAL under -dir
+// before any index from it is handed out, and a restarted service
+// resumes strictly above its highest durable lease — no index is ever
+// issued twice across a crash (see internal/store):
+//
+//	smacs-ts -store file -dir /var/lib/smacs-ts -fsync-batch 16
+//
 // The rules file uses the Fig. 6 layout, e.g.:
 //
 //	{
@@ -22,10 +30,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/rules"
 	"repro/internal/secp256k1"
+	"repro/internal/store"
 	"repro/internal/ts"
 	"repro/internal/tshttp"
 )
@@ -38,15 +48,64 @@ func main() {
 		ownerToken = flag.String("owner-token", "", "bearer secret for rule administration (empty: admin disabled)")
 		lifetime   = flag.Duration("lifetime", time.Hour, "token lifetime")
 		needProof  = flag.Bool("require-proof", false, "demand a proof of possession on every request")
+		storeKind  = flag.String("store", "mem", `one-time counter persistence: "mem" (lost on restart) or "file" (WAL under -dir)`)
+		dirPath    = flag.String("dir", "", "-store file: directory for the counter WAL and snapshots")
+		fsyncBatch = flag.Int("fsync-batch", 0, "-store file: appends coalesced per fsync (0: store default)")
+		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "index counter shards (concurrent issuance lanes)")
 	)
 	flag.Parse()
-	if err := run(*addr, *keySeed, *rulesPath, *ownerToken, *lifetime, *needProof); err != nil {
+	if err := run(*addr, *keySeed, *rulesPath, *ownerToken, *lifetime, *needProof, *storeKind, *dirPath, *fsyncBatch, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "smacs-ts:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, needProof bool) error {
+// counterBlockSize is how many one-time indexes each shard leases per
+// durable allocation; with -store file one fsynced WAL append covers a
+// whole block, so the fsync cost amortizes across 64 issued tokens.
+const counterBlockSize = 64
+
+// openCounter builds the service's one-time index counter. "mem" keeps
+// the default in-memory counter (restart forgets the high-water mark —
+// only safe when contracts' bitmaps are re-deployed too); "file" journals
+// every block lease so a restarted service never re-issues an index.
+func openCounter(storeKind, dirPath string, fsyncBatch, shards int) (ts.Counter, error) {
+	switch storeKind {
+	case "mem":
+		if dirPath != "" || fsyncBatch != 0 {
+			return nil, fmt.Errorf("-dir and -fsync-batch require -store file")
+		}
+		sc, err := ts.NewShardedCounter(nil, shards, counterBlockSize)
+		if err != nil {
+			return nil, err
+		}
+		return sc, nil
+	case "file":
+		if dirPath == "" {
+			return nil, fmt.Errorf("-store file requires -dir")
+		}
+		if err := os.MkdirAll(dirPath, 0o755); err != nil {
+			return nil, err
+		}
+		f, err := store.OpenFile(dirPath, store.FileOptions{FsyncBatch: fsyncBatch})
+		if err != nil {
+			return nil, err
+		}
+		c, err := store.OpenCounter(f, store.DefaultCounterSnapshotEvery)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := ts.NewShardedCounter(c, shards, counterBlockSize)
+		if err != nil {
+			return nil, err
+		}
+		return sc, nil
+	default:
+		return nil, fmt.Errorf("unknown -store %q (supported: mem, file)", storeKind)
+	}
+}
+
+func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, needProof bool, storeKind, dirPath string, fsyncBatch, shards int) error {
 	var key *secp256k1.PrivateKey
 	if keySeed != "" {
 		key = secp256k1.PrivateKeyFromSeed([]byte(keySeed))
@@ -69,7 +128,12 @@ func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, ne
 		}
 	}
 
-	svc, err := ts.New(ts.Config{Key: key, Rules: ruleSet, Lifetime: lifetime, RequireProof: needProof})
+	counter, err := openCounter(storeKind, dirPath, fsyncBatch, shards)
+	if err != nil {
+		return err
+	}
+
+	svc, err := ts.New(ts.Config{Key: key, Rules: ruleSet, Lifetime: lifetime, RequireProof: needProof, Counter: counter})
 	if err != nil {
 		return err
 	}
@@ -78,6 +142,11 @@ func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, ne
 	fmt.Printf("SMACS Token Service\n")
 	fmt.Printf("  signing address: %s  (preload this into your contracts' verifier)\n", svc.Address())
 	fmt.Printf("  token lifetime:  %s\n", lifetime)
+	if storeKind == "file" {
+		fmt.Printf("  index counter:   durable (WAL in %s, %d shards)\n", dirPath, shards)
+	} else {
+		fmt.Printf("  index counter:   in-memory (%d shards; restart forgets the high-water mark)\n", shards)
+	}
 	fmt.Printf("  listening on:    %s\n", addr)
 	if ownerToken == "" {
 		fmt.Printf("  rule admin:      disabled (set -owner-token to enable)\n")

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+)
+
+// A file-backed counter must resume strictly above every index a previous
+// incarnation issued — the CLI-level view of the store.Counter contract.
+func TestOpenCounterFileResumesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := openCounter("file", dir, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issued := make(map[int64]bool)
+	for i := 0; i < 3*counterBlockSize; i++ {
+		idx, err := c1.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		issued[idx] = true
+	}
+	// Restart: the old handle is abandoned (no Close), like a crash.
+	c2, err := openCounter("file", dir, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*counterBlockSize; i++ {
+		idx, err := c2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if issued[idx] {
+			t.Fatalf("index %d issued twice across restart", idx)
+		}
+	}
+}
+
+func TestOpenCounterRejectsBadFlags(t *testing.T) {
+	if _, err := openCounter("file", "", 0, 1); err == nil {
+		t.Error("file store without -dir accepted")
+	}
+	if _, err := openCounter("mem", "/tmp/x", 0, 1); err == nil {
+		t.Error("-dir without file store accepted")
+	}
+	if _, err := openCounter("mem", "", 8, 1); err == nil {
+		t.Error("-fsync-batch without file store accepted")
+	}
+	if _, err := openCounter("tape", "", 0, 1); err == nil {
+		t.Error("unknown store accepted")
+	}
+}

@@ -39,6 +39,10 @@ type ChainConfig struct {
 	Workers []int `json:"workers"`
 	// Modes restricts the sweep (nil = all of ChainModes).
 	Modes []string `json:"modes,omitempty"`
+	// OnRow, when non-nil, observes every completed cell in sweep order;
+	// smacs-bench uses it to flush partial results on SIGINT. Speedup is
+	// still zero when a row is observed — it is filled in a post-pass.
+	OnRow func(ChainRow) `json:"-"`
 }
 
 // DefaultChainConfig returns the sweep the BENCHMARKS.md table uses.
@@ -259,6 +263,9 @@ func Chain(cfg ChainConfig) (*ChainResult, error) {
 				return nil, fmt.Errorf("chain %s ×%d: %w", mode, workers, err)
 			}
 			res.Rows = append(res.Rows, row)
+			if cfg.OnRow != nil {
+				cfg.OnRow(row)
+			}
 		}
 	}
 	// Fill speedups in a post-pass so the naive baseline is found no

@@ -30,6 +30,15 @@ type E2EConfig struct {
 	Scenarios []string `json:"scenarios,omitempty"`
 	// Smoke selects the small deterministic sizing the CI envelope pins.
 	Smoke bool `json:"smoke"`
+	// Dir is where the durable scenario keeps its file-backed stores
+	// (empty: a fresh temp dir, removed afterwards).
+	Dir string `json:"dir,omitempty"`
+	// FsyncBatch is the group-commit batch of the durable scenario's file
+	// stores (0: the store default).
+	FsyncBatch int `json:"fsyncBatch,omitempty"`
+	// OnRow, when non-nil, observes every completed scenario row in run
+	// order; smacs-bench uses it to flush partial results on SIGINT.
+	OnRow func(E2ERow) `json:"-"`
 }
 
 // E2ECounts are the correctness counts of one scenario run. Every field is
@@ -105,11 +114,19 @@ func E2E(cfg E2EConfig) (*E2EResult, error) {
 	}
 	res := &E2EResult{Config: cfg}
 	for _, sc := range scenarios {
-		row, err := runScenario(sc)
+		var row E2ERow
+		if sc.Durable {
+			row, err = runDurable(sc, cfg)
+		} else {
+			row, err = runScenario(sc)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("e2e %s: %w", sc.Name, err)
 		}
 		res.Rows = append(res.Rows, row)
+		if cfg.OnRow != nil {
+			cfg.OnRow(row)
+		}
 	}
 	return res, nil
 }
@@ -406,37 +423,7 @@ func runScenario(cfg ScenarioConfig) (E2ERow, error) {
 	// The submitter: drains the op channel into ApplyBatch calls of
 	// TxBatch transactions, running token-signature prevalidation in the
 	// parallel pool outside the chain mutex.
-	hook := core.TokenPrehook(tsKey.Address(), env.chain.Config().ChainID)
-	subDone := make(chan struct{})
-	go func() {
-		defer close(subDone)
-		pending := make([]*e2eOp, 0, cfg.TxBatch)
-		flush := func() {
-			if len(pending) == 0 {
-				return
-			}
-			txs := make([]*evm.Transaction, len(pending))
-			for i, op := range pending {
-				txs[i] = op.tx
-			}
-			results := env.chain.ApplyBatch(txs, evm.BatchOptions{
-				Workers:     cfg.Workers,
-				Prevalidate: hook,
-			})
-			end := time.Now()
-			for i, res := range results {
-				env.agg.recordTx(pending[i], res, end)
-			}
-			pending = pending[:0]
-		}
-		for op := range env.sub {
-			pending = append(pending, op)
-			if len(pending) >= cfg.TxBatch {
-				flush()
-			}
-		}
-		flush()
-	}()
+	subDone := env.startSubmitter(tsKey.Address())
 
 	// Producers: honest clients, denied clients, and the attacker wallets
 	// all run concurrently against the live HTTP service.
@@ -485,15 +472,71 @@ func runScenario(cfg ScenarioConfig) (E2ERow, error) {
 		if cl == nil {
 			continue
 		}
-		st, err := cl.Stats()
-		if err != nil {
-			return E2ERow{}, fmt.Errorf("fetch /v1/stats: %w", err)
+		if err := env.agg.addServerStats(cl); err != nil {
+			return E2ERow{}, err
 		}
-		env.agg.counts.TSIssued += int(st.Issued)
-		env.agg.counts.TSRejected += int(st.Rejected)
 	}
 
-	lat := env.agg.lat
+	return finishRow(cfg, env.agg, elapsed), nil
+}
+
+// startSubmitter launches the batch submitter draining e.sub into
+// ApplyBatch calls of TxBatch transactions, with token-signature
+// prevalidation in the parallel pool outside the chain mutex. It returns
+// the channel closed when e.sub has been closed and fully drained.
+func (e *e2eEnv) startSubmitter(tsAddr types.Address) chan struct{} {
+	hook := core.TokenPrehook(tsAddr, e.chain.Config().ChainID)
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		pending := make([]*e2eOp, 0, e.cfg.TxBatch)
+		flush := func() {
+			if len(pending) == 0 {
+				return
+			}
+			txs := make([]*evm.Transaction, len(pending))
+			for i, op := range pending {
+				txs[i] = op.tx
+			}
+			results := e.chain.ApplyBatch(txs, evm.BatchOptions{
+				Workers:     e.cfg.Workers,
+				Prevalidate: hook,
+			})
+			end := time.Now()
+			for i, res := range results {
+				e.agg.recordTx(pending[i], res, end)
+			}
+			pending = pending[:0]
+		}
+		for op := range e.sub {
+			pending = append(pending, op)
+			if len(pending) >= e.cfg.TxBatch {
+				flush()
+			}
+		}
+		flush()
+	}()
+	return subDone
+}
+
+// addServerStats folds one Token Service frontend's /v1/stats counters
+// into the aggregate, so the envelope cross-checks the server's view
+// against the client-observed outcomes.
+func (a *e2eAgg) addServerStats(cl *tshttp.Client) error {
+	st, err := cl.Stats()
+	if err != nil {
+		return fmt.Errorf("fetch /v1/stats: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.counts.TSIssued += int(st.Issued)
+	a.counts.TSRejected += int(st.Rejected)
+	return nil
+}
+
+// finishRow folds the aggregate into the scenario's result row.
+func finishRow(cfg ScenarioConfig, agg *e2eAgg, elapsed time.Duration) E2ERow {
+	lat := agg.lat
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	pct := func(q float64) float64 {
 		if len(lat) == 0 {
@@ -501,7 +544,7 @@ func runScenario(cfg ScenarioConfig) (E2ERow, error) {
 		}
 		return float64(lat[int(q*float64(len(lat)-1))].Microseconds()) / 1000
 	}
-	counts := env.agg.counts
+	counts := agg.counts
 	return E2ERow{
 		Scenario:     cfg.Name,
 		Clients:      cfg.Clients,
@@ -513,7 +556,7 @@ func runScenario(cfg ScenarioConfig) (E2ERow, error) {
 		P95Millis:    pct(0.95),
 		P99Millis:    pct(0.99),
 		Counts:       counts,
-	}, nil
+	}
 }
 
 // opRequests builds the token requests one operation needs: one per
@@ -615,7 +658,9 @@ func (e *e2eEnv) entriesFor(slot []ts.Result) ([][]byte, error) {
 // for each op.
 func (e *e2eEnv) runHonest(key *secp256k1.PrivateKey) error {
 	perOp := len(e.targets)
-	nonce := uint64(0)
+	// Resuming from the chain's view of the nonce (instead of 0) lets the
+	// durable scenario re-run a client against a recovered chain.
+	nonce := e.chain.NonceOf(key.Address())
 	for off := 0; off < e.cfg.Ops; off += e.cfg.TokenBatch {
 		n := min(e.cfg.TokenBatch, e.cfg.Ops-off)
 		start := time.Now()

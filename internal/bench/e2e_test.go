@@ -5,14 +5,20 @@ import (
 	"testing"
 )
 
-// runScenarioT runs one named scenario at smoke scale and returns its row.
+// runScenarioT runs one named scenario at smoke scale and returns its
+// row, dispatching durable profiles the way E2E does.
 func runScenarioT(t *testing.T, name string) E2ERow {
 	t.Helper()
 	cfg, err := ScenarioByName(name, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	row, err := runScenario(cfg)
+	var row E2ERow
+	if cfg.Durable {
+		row, err = runDurable(cfg, E2EConfig{Smoke: true, Dir: t.TempDir()})
+	} else {
+		row, err = runScenario(cfg)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,6 +66,29 @@ func TestE2EAdversarialFloodRejectsEveryAttack(t *testing.T) {
 	if c.TxRejected != c.RejTampered+c.RejReplayed+c.RejExpired {
 		t.Errorf("rejections with unexpected reasons: %d total vs %d classified",
 			c.TxRejected, c.RejTampered+c.RejReplayed+c.RejExpired)
+	}
+}
+
+// The durable scenario is the crash-recovery argument run end-to-end:
+// the counts must be indistinguishable from a crash-free run, every
+// pre-crash one-time token replayed after recovery must be rejected with
+// exactly ErrTokenUsed, and nothing adversarial may slip through. The
+// height/nonce continuity assertions live inside runDurable itself.
+func TestE2EDurableRecoversExactly(t *testing.T) {
+	row := runScenarioT(t, "durable")
+	c := row.Counts
+	cfg, err := ScenarioByName("durable", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RejReplayed != cfg.ReplayedOps {
+		t.Errorf("post-recovery replays rejected with ErrTokenUsed: %d, want %d", c.RejReplayed, cfg.ReplayedOps)
+	}
+	if c.AdvAccepted != 0 {
+		t.Errorf("%d replayed transactions accepted after recovery; want 0", c.AdvAccepted)
+	}
+	if want := cfg.ExpectedCounts(); c != want {
+		t.Errorf("counts across the crash = %+v\nwant crash-free %+v", c, want)
 	}
 }
 

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -10,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/secp256k1"
+	"repro/internal/store"
 	"repro/internal/ts"
 	"repro/internal/types"
 )
@@ -47,6 +50,23 @@ type LoadConfig struct {
 	RTT time.Duration `json:"rtt"`
 	// Modes restricts the sweep (nil = all of LoadModes).
 	Modes []string `json:"modes,omitempty"`
+	// Store selects the persistence backing the index counter: "" or
+	// "mem" allocate in memory (with the modeled RTT above), "file"
+	// journals every allocation through a durable store.Counter whose
+	// group-commit WAL fsyncs before an index is handed out — the
+	// mem-vs-file table of docs/BENCHMARKS.md. The sharded and batch
+	// modes amortize the WAL appends across leaseBlockSize-index leases;
+	// locked and atomic pay one durable append per allocation.
+	Store string `json:"store,omitempty"`
+	// Dir is where file-backed counters keep their WALs, one
+	// subdirectory per cell (empty: a temp dir, removed afterwards).
+	Dir string `json:"dir,omitempty"`
+	// FsyncBatch is the group-commit batch of file-backed counters
+	// (0: the store default).
+	FsyncBatch int `json:"fsyncBatch,omitempty"`
+	// OnRow, when non-nil, observes every completed cell in sweep order;
+	// smacs-bench uses it to flush partial results on SIGINT.
+	OnRow func(LoadRow) `json:"-"`
 }
 
 // DefaultLoadConfig returns the sweep the BENCHMARKS.md table uses.
@@ -100,6 +120,8 @@ type issuer struct {
 	// perCall is the number of requests one issue() covers.
 	perCall int
 	issue   func() error
+	// close releases the cell's counter backing (file WAL handles).
+	close func()
 }
 
 // newLoadService builds a fresh lock-free service for one cell.
@@ -135,51 +157,101 @@ func (c *rttCounter) Next() (int64, error) {
 // underlying allocation in the sharded and batch modes.
 const leaseBlockSize = 64
 
+// newCellCounter returns the allocation counter one cell uses plus its
+// cleanup: the RTT-modeled in-process counter for mem runs, or a durable
+// store.Counter on a fresh per-cell directory for Store "file" (every
+// allocation — a block lease in the sharded modes — is fsynced through
+// the group-commit WAL before an index is handed out).
+func newCellCounter(cfg LoadConfig, mode string, workers int) (ts.Counter, func(), error) {
+	switch cfg.Store {
+	case "", "mem":
+		return &rttCounter{rtt: cfg.RTT}, func() {}, nil
+	case "file":
+	default:
+		return nil, nil, fmt.Errorf("bench: unknown store %q (supported: mem, file)", cfg.Store)
+	}
+	base := cfg.Dir
+	cleanupBase := func() {}
+	if base == "" {
+		tmp, err := os.MkdirTemp("", "smacs-load-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		base = tmp
+		cleanupBase = func() { os.RemoveAll(tmp) }
+	}
+	dir := filepath.Join(base, fmt.Sprintf("%s-w%d", mode, workers))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		cleanupBase()
+		return nil, nil, err
+	}
+	f, err := store.OpenFile(dir, store.FileOptions{FsyncBatch: cfg.FsyncBatch})
+	if err != nil {
+		cleanupBase()
+		return nil, nil, err
+	}
+	c, err := store.OpenCounter(f, store.DefaultCounterSnapshotEvery)
+	if err != nil {
+		f.Close()
+		cleanupBase()
+		return nil, nil, err
+	}
+	return c, func() { f.Close(); cleanupBase() }, nil
+}
+
 func newIssuer(mode string, cfg LoadConfig, workers int) (*issuer, error) {
 	req := loadRequest(cfg.OneTime)
+	underlying, closeCounter, err := newCellCounter(cfg, mode, workers)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*issuer, error) {
+		closeCounter()
+		return nil, err
+	}
 	switch mode {
 	case "locked":
-		svc, err := newLoadService(&rttCounter{rtt: cfg.RTT})
+		svc, err := newLoadService(underlying)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		var mu sync.Mutex
-		return &issuer{perCall: 1, issue: func() error {
+		return &issuer{perCall: 1, close: closeCounter, issue: func() error {
 			mu.Lock()
 			defer mu.Unlock()
 			_, err := svc.Issue(req)
 			return err
 		}}, nil
 	case "atomic":
-		svc, err := newLoadService(&rttCounter{rtt: cfg.RTT})
+		svc, err := newLoadService(underlying)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
-		return &issuer{perCall: 1, issue: func() error {
+		return &issuer{perCall: 1, close: closeCounter, issue: func() error {
 			_, err := svc.Issue(req)
 			return err
 		}}, nil
 	case "sharded":
-		counter, err := ts.NewShardedCounter(&rttCounter{rtt: cfg.RTT}, workers, leaseBlockSize)
+		counter, err := ts.NewShardedCounter(underlying, workers, leaseBlockSize)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		svc, err := newLoadService(counter)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
-		return &issuer{perCall: 1, issue: func() error {
+		return &issuer{perCall: 1, close: closeCounter, issue: func() error {
 			_, err := svc.Issue(req)
 			return err
 		}}, nil
 	case "batch":
-		counter, err := ts.NewShardedCounter(&rttCounter{rtt: cfg.RTT}, workers, leaseBlockSize)
+		counter, err := ts.NewShardedCounter(underlying, workers, leaseBlockSize)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		svc, err := newLoadService(counter)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		size := cfg.BatchSize
 		if size < 1 {
@@ -189,7 +261,7 @@ func newIssuer(mode string, cfg LoadConfig, workers int) (*issuer, error) {
 		for i := range reqs {
 			reqs[i] = req
 		}
-		return &issuer{perCall: size, issue: func() error {
+		return &issuer{perCall: size, close: closeCounter, issue: func() error {
 			for _, res := range svc.IssueBatch(reqs) {
 				if res.Err != nil {
 					return res.Err
@@ -198,7 +270,7 @@ func newIssuer(mode string, cfg LoadConfig, workers int) (*issuer, error) {
 			return nil
 		}}, nil
 	default:
-		return nil, fmt.Errorf("bench: unknown load mode %q", mode)
+		return fail(fmt.Errorf("bench: unknown load mode %q", mode))
 	}
 }
 
@@ -235,6 +307,11 @@ func Load(cfg LoadConfig) (*LoadResult, error) {
 			return nil, fmt.Errorf("bench: worker count must be positive, got %d", workers)
 		}
 	}
+	switch cfg.Store {
+	case "", "mem", "file":
+	default:
+		return nil, fmt.Errorf("bench: unknown store %q (supported: mem, file)", cfg.Store)
+	}
 	res := &LoadResult{Config: cfg}
 	for _, mode := range modes {
 		for _, workers := range cfg.Workers {
@@ -243,6 +320,9 @@ func Load(cfg LoadConfig) (*LoadResult, error) {
 				return nil, fmt.Errorf("load %s ×%d: %w", mode, workers, err)
 			}
 			res.Rows = append(res.Rows, row)
+			if cfg.OnRow != nil {
+				cfg.OnRow(row)
+			}
 		}
 	}
 	return res, nil
@@ -253,6 +333,7 @@ func runCell(mode string, cfg LoadConfig, workers int) (LoadRow, error) {
 	if err != nil {
 		return LoadRow{}, err
 	}
+	defer is.close()
 	if cfg.Warmup > 0 {
 		if err := drive(is, workers, cfg.Warmup, nil); err != nil {
 			return LoadRow{}, err

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -44,5 +46,45 @@ func TestLoadRejectsBadInput(t *testing.T) {
 	}
 	if _, err := Load(LoadConfig{Workers: []int{1}, Duration: time.Millisecond, Modes: []string{"bogus"}}); err == nil {
 		t.Error("unknown mode accepted")
+	}
+	if _, err := Load(LoadConfig{Workers: []int{1}, Duration: time.Millisecond, Store: "tape"}); err == nil {
+		t.Error("unknown store accepted")
+	}
+}
+
+// A file-backed sweep must journal every allocation through the WAL and
+// still produce non-empty cells; the per-cell directories land under Dir
+// and OnRow sees every row as it completes.
+func TestLoadSweepFileStore(t *testing.T) {
+	dir := t.TempDir()
+	var seen []LoadRow
+	cfg := LoadConfig{
+		Workers:    []int{2},
+		Duration:   30 * time.Millisecond,
+		Warmup:     5 * time.Millisecond,
+		OneTime:    true,
+		BatchSize:  4,
+		Modes:      []string{"atomic", "sharded"},
+		Store:      "file",
+		Dir:        dir,
+		FsyncBatch: 16,
+		OnRow:      func(r LoadRow) { seen = append(seen, r) },
+	}
+	res, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(seen) != len(res.Rows) {
+		t.Fatalf("got %d rows, OnRow saw %d, want 2 each", len(res.Rows), len(seen))
+	}
+	for _, row := range res.Rows {
+		if row.Requests == 0 {
+			t.Errorf("%s ×%d: empty cell", row.Mode, row.Workers)
+		}
+	}
+	for _, cell := range []string{"atomic-w2", "sharded-w2"} {
+		if _, err := os.Stat(filepath.Join(dir, cell)); err != nil {
+			t.Errorf("cell WAL directory %s missing: %v", cell, err)
+		}
 	}
 }

@@ -66,6 +66,16 @@ type ScenarioConfig struct {
 	// RequireProof demands a proof of possession on every token request,
 	// exercising the client-side request signing over HTTP.
 	RequireProof bool `json:"requireProof,omitempty"`
+	// Durable backs the Token Service counter and the chain with
+	// file-backed stores (internal/store) and crashes the whole world
+	// mid-run: phase 1 performs roughly half of each client's ops, every
+	// handle is abandoned without Close (the kill), and phase 2 recovers
+	// from the WALs before running the rest. ReplayedOps one-time tokens
+	// are spent before the crash and replayed after recovery, so their
+	// rejection proves the spent-index bitmap state survived it. The
+	// correctness counts are identical to a crash-free run — that is the
+	// durability contract the envelope pins.
+	Durable bool `json:"durable,omitempty"`
 	// TokenBatch is the number of ops whose tokens a client fetches per
 	// POST /v1/tokens round-trip.
 	TokenBatch int `json:"tokenBatch"`
@@ -79,7 +89,7 @@ type ScenarioConfig struct {
 
 // ScenarioNames lists the shipped scenario profiles in run order.
 func ScenarioNames() []string {
-	return []string{"quickstart", "tokensale", "callchain", "adversarial", "mixed"}
+	return []string{"quickstart", "tokensale", "callchain", "adversarial", "mixed", "durable"}
 }
 
 // ScenarioByName returns the named scenario profile at smoke scale (small,
@@ -158,6 +168,21 @@ func ScenarioByName(name string, smoke bool) (ScenarioConfig, error) {
 			ReadEvery:   2,
 			TokenBatch:  8,
 			TxBatch:     16,
+		}, nil
+	case "durable":
+		return ScenarioConfig{
+			Name: "durable",
+			Description: "file-backed stores killed mid-run: recovery must keep every " +
+				"committed write and reject every replayed one-time token",
+			Workload:    WorkloadStorage,
+			Clients:     pick(3, 6),
+			Ops:         pick(6, 60),
+			TokenType:   core.MethodType,
+			OneTime:     true,
+			ReplayedOps: pick(5, 30),
+			Durable:     true,
+			TokenBatch:  6,
+			TxBatch:     8,
 		}, nil
 	default:
 		return ScenarioConfig{}, fmt.Errorf("bench: unknown scenario %q (supported: %s)",

@@ -84,6 +84,7 @@ type Chain struct {
 	deployedAt map[types.Address]uint64
 	deployerOf map[types.Address]types.Address
 	blocks     []*Block
+	store      *chainStore
 }
 
 // NewChain creates a chain with a genesis block.
@@ -182,14 +183,17 @@ func (ch *Chain) Height() uint64 {
 	return ch.blocks[len(ch.blocks)-1].Number
 }
 
-// BlockByNumber returns the block at the given height.
+// BlockByNumber returns the block at the given height. After a durable
+// recovery the chain restarts from a snapshot base block, so heights
+// below the base are no longer resolvable.
 func (ch *Chain) BlockByNumber(n uint64) (*Block, bool) {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
-	if n >= uint64(len(ch.blocks)) {
+	base := ch.blocks[0].Number
+	if n < base || n-base >= uint64(len(ch.blocks)) {
 		return nil, false
 	}
-	return ch.blocks[n], true
+	return ch.blocks[n-base], true
 }
 
 // Deploy registers a contract on the chain under a CREATE-style address
@@ -231,7 +235,7 @@ func (ch *Chain) Deploy(creator types.Address, contract *Contract) (types.Addres
 	ch.db.IncNonce(creator)
 	ch.db.MarkContract(addr)
 	ch.contracts[addr] = contract
-	ch.deployedAt[addr] = uint64(len(ch.blocks))
+	ch.deployedAt[addr] = ch.blocks[len(ch.blocks)-1].Number + 1
 	ch.deployerOf[addr] = creator
 
 	receipt := &Receipt{
@@ -240,7 +244,7 @@ func (ch *Chain) Deploy(creator types.Address, contract *Contract) (types.Addres
 		GasByCategory: meter.ByCategory(),
 		FeeUSD:        ch.cfg.Price.USD(meter.Used()),
 	}
-	ch.mineLocked(types.Hash{}, receipt)
+	ch.mineLocked(types.Hash{}, receipt, ch.cfg.Now())
 	return addr, receipt, nil
 }
 
@@ -256,6 +260,13 @@ func (ch *Chain) Apply(tx *Transaction) (*Receipt, error) {
 // applyLocked is the body of Apply; the chain mutex must be held. ApplyBatch
 // uses it to commit prevalidated transactions serially.
 func (ch *Chain) applyLocked(tx *Transaction) (*Receipt, error) {
+	return ch.applyAtLocked(tx, ch.cfg.Now())
+}
+
+// applyAtLocked executes tx against the given block time. Durable replay
+// calls it with the logged time of the original execution, so
+// time-dependent checks (token expiry) repeat identically.
+func (ch *Chain) applyAtLocked(tx *Transaction, blockTime time.Time) (*Receipt, error) {
 	sender, err := tx.Sender(ch.cfg.ChainID)
 	if err != nil {
 		return nil, err
@@ -298,12 +309,11 @@ func (ch *Chain) applyLocked(tx *Transaction) (*Receipt, error) {
 	_ = meter.Charge(gas.CatIntrinsic, intrinsic) // checked above
 
 	trace := &Trace{}
-	blockTime := ch.cfg.Now()
 	snap := ch.db.Snapshot()
 
 	receipt := &Receipt{Trace: trace, TxHash: txHash}
 	var execErr error
-	if tx.Method == "" {
+	if tx.Method == "" && tx.RawData == nil {
 		// Plain value transfer.
 		execErr = ch.db.SubBalance(sender, tx.Value)
 		if execErr == nil {
@@ -340,7 +350,14 @@ func (ch *Chain) applyLocked(tx *Transaction) (*Receipt, error) {
 	unused := new(big.Int).SetUint64(meter.Remaining())
 	ch.db.AddBalance(sender, unused.Mul(unused, gasPrice))
 
-	ch.mineLocked(txHash, receipt)
+	ch.mineLocked(txHash, receipt, blockTime)
+
+	// Persist the commit before returning. A transaction that mined a
+	// block (even with a failed execution) changed state — nonce, gas,
+	// possibly a revert-logged receipt — and must survive a crash.
+	if err := ch.persistCommitLocked(tx, blockTime); err != nil {
+		return receipt, err
+	}
 	return receipt, nil
 }
 
@@ -457,12 +474,14 @@ func (ch *Chain) execute(p execParams) ([]any, error) {
 	return ret, nil
 }
 
-// mineLocked appends a block containing the given transaction.
-func (ch *Chain) mineLocked(txHash types.Hash, receipt *Receipt) {
+// mineLocked appends a block containing the given transaction. Block
+// numbers continue from the previous head rather than len(blocks): after
+// a durable recovery the block slice restarts at the snapshot height.
+func (ch *Chain) mineLocked(txHash types.Hash, receipt *Receipt, at time.Time) {
 	snap := ch.db.Snapshot()
 	blk := &Block{
-		Number:        uint64(len(ch.blocks)),
-		Time:          ch.cfg.Now(),
+		Number:        ch.blocks[len(ch.blocks)-1].Number + 1,
+		Time:          at,
 		TxHash:        txHash,
 		Receipt:       receipt,
 		stateSnapshot: snap,
@@ -483,17 +502,17 @@ var ErrBadReorg = errors.New("evm: invalid reorg target")
 func (ch *Chain) Reorg(toHeight uint64) error {
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
-	if toHeight >= uint64(len(ch.blocks)) {
-		return fmt.Errorf("%w: height %d, chain at %d", ErrBadReorg, toHeight, len(ch.blocks)-1)
+	base := ch.blocks[0].Number
+	head := ch.blocks[len(ch.blocks)-1].Number
+	if toHeight < base || toHeight > head {
+		return fmt.Errorf("%w: height %d, chain spans %d..%d", ErrBadReorg, toHeight, base, head)
 	}
-	// blocks[toHeight] is the new head; its stateSnapshot captured the
-	// state right after it was mined.
-	target := ch.blocks[toHeight]
-	if toHeight == 0 {
-		ch.db.RevertToSnapshot(0)
-	} else {
-		ch.db.RevertToSnapshot(target.stateSnapshot)
-	}
+	// The target block's stateSnapshot captured the state right after it
+	// was mined (the base block of a recovered chain carries snapshot 0,
+	// the empty journal).
+	idx := toHeight - base
+	target := ch.blocks[idx]
+	ch.db.RevertToSnapshot(target.stateSnapshot)
 	for addr, height := range ch.deployedAt {
 		if height > toHeight {
 			delete(ch.contracts, addr)
@@ -501,6 +520,6 @@ func (ch *Chain) Reorg(toHeight uint64) error {
 			delete(ch.deployerOf, addr)
 		}
 	}
-	ch.blocks = ch.blocks[:toHeight+1]
+	ch.blocks = ch.blocks[:idx+1]
 	return nil
 }

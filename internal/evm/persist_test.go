@@ -1,0 +1,356 @@
+package evm_test
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/evm"
+	"repro/internal/evmtest"
+	"repro/internal/gas"
+	"repro/internal/secp256k1"
+	"repro/internal/store"
+	"repro/internal/types"
+	"repro/internal/wallet"
+)
+
+var (
+	persistTSKey = secp256k1.PrivateKeyFromSeed([]byte("persist ts"))
+	persistOwner = secp256k1.PrivateKeyFromSeed([]byte("persist owner"))
+	persistUser  = secp256k1.PrivateKeyFromSeed([]byte("persist user"))
+)
+
+// persistCounter is the workload contract: a counter whose value lives in
+// contract storage, so recovery correctness is visible as a number.
+func persistCounter() *evm.Contract {
+	c := evm.NewContract("PersistCounter")
+	c.MustAddMethod(evm.Method{
+		Name:       "increment",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			v, err := call.LoadUint(gas.CatApp, evm.SlotN(0))
+			if err != nil {
+				return nil, err
+			}
+			if err := call.StoreUint(gas.CatApp, evm.SlotN(0), v+1); err != nil {
+				return nil, err
+			}
+			return []any{v + 1}, nil
+		},
+	})
+	c.MustAddMethod(evm.Method{
+		Name:       "get",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			v, err := call.LoadUint(gas.CatApp, evm.SlotN(0))
+			if err != nil {
+				return nil, err
+			}
+			return []any{v}, nil
+		},
+	})
+	return c
+}
+
+// counterBoot is a deterministic recovery bootstrap: both incarnations
+// fund the same accounts and deploy the same contract from the same
+// owner nonce, so the contract lands at the same address.
+func counterBoot(contract func() *evm.Contract) (func(*evm.Chain) error, *types.Address) {
+	addr := new(types.Address)
+	boot := func(ch *evm.Chain) error {
+		ch.Fund(persistOwner.Address(), evmtest.Ether(1000))
+		ch.Fund(persistUser.Address(), evmtest.Ether(1000))
+		a, _, err := ch.Deploy(persistOwner.Address(), contract())
+		*addr = a
+		return err
+	}
+	return boot, addr
+}
+
+func counterValue(t *testing.T, ch *evm.Chain, addr types.Address) uint64 {
+	t.Helper()
+	ret, _, err := ch.StaticCall(persistUser.Address(), addr, "get", nil, nil)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	return ret[0].(uint64)
+}
+
+func TestCommitCodecRoundTrip(t *testing.T) {
+	tx := &evm.Transaction{
+		Nonce:    7,
+		To:       types.BytesToAddress([]byte{0xaa}),
+		Value:    big.NewInt(12345),
+		GasLimit: 900_000,
+		GasPrice: big.NewInt(2_000_000_000),
+		Method:   "act",
+		Args:     []any{uint64(21)},
+		Tokens:   [][]byte{{1, 2, 3}, {4, 5}},
+	}
+	if err := evm.SignTx(tx, persistUser, 1337); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2020, 3, 17, 12, 0, 0, 987654321, time.UTC)
+	blob, err := evm.EncodeCommit(tx, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotAt, err := evm.DecodeCommit(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotAt.Equal(at) {
+		t.Errorf("block time = %v, want %v", gotAt, at)
+	}
+	if got.Nonce != tx.Nonce || got.To != tx.To || got.GasLimit != tx.GasLimit {
+		t.Errorf("fields diverged: %+v", got)
+	}
+	if got.Value.Cmp(tx.Value) != 0 || got.GasPrice.Cmp(tx.GasPrice) != 0 {
+		t.Error("amounts diverged")
+	}
+	if len(got.Tokens) != 2 {
+		t.Fatalf("tokens = %v", got.Tokens)
+	}
+	// The decoded transaction carries RawData instead of Method/Args but
+	// must sign-hash — and therefore recover — identically.
+	wantHash, err := tx.SigHash(1337)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHash, err := got.SigHash(1337)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantHash != gotHash {
+		t.Error("decoded commit sign-hashes differently")
+	}
+	sender, err := got.Sender(1337)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != persistUser.Address() {
+		t.Errorf("sender = %s, want %s", sender, persistUser.Address())
+	}
+
+	if _, _, err := evm.DecodeCommit([]byte("garbage")); err == nil {
+		t.Error("garbage commit accepted")
+	}
+}
+
+// TestRecoverChainReplay: every committed transaction survives a crash
+// with no snapshot at all — pure log replay on top of the bootstrap.
+func TestRecoverChainReplay(t *testing.T) {
+	clock := evmtest.NewClock()
+	cfg := evm.DefaultConfig()
+	cfg.Now = clock.Now
+	boot, addr := counterBoot(persistCounter)
+	mem := store.NewMemory()
+
+	ch1, err := evm.RecoverChain(cfg, mem, 0, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wallet.New(persistUser, ch1)
+	for i := 0; i < 3; i++ {
+		clock.Advance(time.Second)
+		r, err := w.Call(*addr, "increment", wallet.CallOpts{})
+		if err != nil || !r.Status {
+			t.Fatalf("increment %d: %v / %+v", i, err, r)
+		}
+	}
+	wantHeight := ch1.Height()
+	wantNonce := ch1.NonceOf(persistUser.Address())
+	wantBalance := ch1.Balance(persistUser.Address())
+	// Crash: abandon ch1, recover from the same backend.
+
+	ch2, err := evm.RecoverChain(cfg, mem, 0, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, ch2, *addr); got != 3 {
+		t.Errorf("recovered counter = %d, want 3", got)
+	}
+	if got := ch2.Height(); got != wantHeight {
+		t.Errorf("recovered height = %d, want %d", got, wantHeight)
+	}
+	if got := ch2.NonceOf(persistUser.Address()); got != wantNonce {
+		t.Errorf("recovered nonce = %d, want %d", got, wantNonce)
+	}
+	if got := ch2.Balance(persistUser.Address()); got.Cmp(wantBalance) != 0 {
+		t.Errorf("recovered balance = %s, want %s", got, wantBalance)
+	}
+	// The recovered chain keeps working — and keeps logging.
+	w2 := wallet.New(persistUser, ch2)
+	if r, err := w2.Call(*addr, "increment", wallet.CallOpts{}); err != nil || !r.Status {
+		t.Fatalf("post-recovery increment: %v / %+v", err, r)
+	}
+	ch3, err := evm.RecoverChain(cfg, mem, 0, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, ch3, *addr); got != 4 {
+		t.Errorf("second recovery counter = %d, want 4", got)
+	}
+}
+
+// TestRecoverChainFromSnapshot: the snapshot cadence folds the log, the
+// block list restarts at the snapshot height, and replay continues from
+// there — on a real file backend, across a simulated crash.
+func TestRecoverChainFromSnapshot(t *testing.T) {
+	clock := evmtest.NewClock()
+	cfg := evm.DefaultConfig()
+	cfg.Now = clock.Now
+	boot, addr := counterBoot(persistCounter)
+	dir := t.TempDir()
+
+	f, err := store.OpenFile(dir, store.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, err := evm.RecoverChain(cfg, f, 2, boot) // snapshot every 2 commits
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wallet.New(persistUser, ch1)
+	for i := 0; i < 5; i++ {
+		clock.Advance(time.Second)
+		if r, err := w.Call(*addr, "increment", wallet.CallOpts{}); err != nil || !r.Status {
+			t.Fatalf("increment %d: %v / %+v", i, err, r)
+		}
+	}
+	wantHeight := ch1.Height() // genesis + deploy + 5 txs = 6
+	// Crash without Close.
+
+	g, err := store.OpenFile(dir, store.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ch2, err := evm.RecoverChain(cfg, g, 2, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, ch2, *addr); got != 5 {
+		t.Errorf("recovered counter = %d, want 5", got)
+	}
+	if got := ch2.Height(); got != wantHeight {
+		t.Errorf("recovered height = %d, want %d", got, wantHeight)
+	}
+	// Snapshot at commit 4 = block 5; only block 6 was replayed, so the
+	// recovered chain resolves blocks ≥ 5 and nothing older.
+	if _, ok := ch2.BlockByNumber(wantHeight); !ok {
+		t.Errorf("head block %d unresolvable", wantHeight)
+	}
+	if _, ok := ch2.BlockByNumber(2); ok {
+		t.Error("pre-snapshot block still resolvable after recovery")
+	}
+}
+
+// TestSnapshotToStoreCapturesFund: out-of-band faucet credits are not in
+// the commit log; an explicit snapshot makes them durable.
+func TestSnapshotToStoreCapturesFund(t *testing.T) {
+	clock := evmtest.NewClock()
+	cfg := evm.DefaultConfig()
+	cfg.Now = clock.Now
+	boot, _ := counterBoot(persistCounter)
+	mem := store.NewMemory()
+
+	ch1, err := evm.RecoverChain(cfg, mem, 0, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latecomer := types.BytesToAddress([]byte{0x99})
+	ch1.Fund(latecomer, evmtest.Ether(7))
+	if err := ch1.SnapshotToStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	ch2, err := evm.RecoverChain(cfg, mem, 0, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ch2.Balance(latecomer); got.Cmp(evmtest.Ether(7)) != 0 {
+		t.Errorf("latecomer balance = %s after recovery, want 7 ether", got)
+	}
+}
+
+// persistProtected builds a SMACS-guarded contract whose one public
+// method runs the Alg. 1 verification preamble, with a one-time bitmap.
+func persistProtected() *evm.Contract {
+	v := core.NewVerifier(persistTSKey.Address())
+	bm, err := core.NewBitmap(64, 100)
+	if err != nil {
+		panic(err)
+	}
+	v.WithBitmap(bm)
+	c := evm.NewContract("PersistProtected")
+	c.SetInitialStorageWords(bm.StorageWords())
+	c.MustAddMethod(evm.Method{
+		Name:       "ping",
+		Visibility: evm.Public,
+		Handler: func(call *evm.Call) ([]any, error) {
+			if err := v.Verify(call); err != nil {
+				return nil, err
+			}
+			return []any{true}, nil
+		},
+	})
+	return c
+}
+
+// TestRecoverChainOneTimeBitmap is the § IV-C durability check: the
+// one-time bitmap lives in contract storage, so after a crash a spent
+// token index is STILL spent — replaying the captured token fails with
+// ErrTokenUsed while a fresh index keeps working.
+func TestRecoverChainOneTimeBitmap(t *testing.T) {
+	clock := evmtest.NewClock()
+	cfg := evm.DefaultConfig()
+	cfg.Now = clock.Now
+	boot, addr := counterBoot(persistProtected)
+	mem := store.NewMemory()
+
+	ch1, err := evm.RecoverChain(cfg, mem, 0, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	issue := func(index int64) wallet.CallOpts {
+		appData, err := (&evm.Transaction{Method: "ping"}).AppData()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binding := core.Binding{Origin: persistUser.Address(), Contract: *addr}
+		copy(binding.Selector[:], appData[:4])
+		binding.Data = appData
+		tk, err := core.SignToken(persistTSKey, core.MethodType, clock.Now().Add(time.Hour), index, binding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return wallet.WithTokens(wallet.TokenEntry{Contract: *addr, Token: tk})
+	}
+
+	w := wallet.New(persistUser, ch1)
+	firstUse := issue(1)
+	if r, err := w.Call(*addr, "ping", firstUse); err != nil || !r.Status {
+		t.Fatalf("first use of index 1: %v / %+v", err, r)
+	}
+
+	// Crash and recover: the spent bit must come back with the state.
+	ch2, err := evm.RecoverChain(cfg, mem, 0, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := wallet.New(persistUser, ch2)
+	r, err := w2.Call(*addr, "ping", firstUse)
+	if err != nil {
+		t.Fatalf("replayed token rejected before execution: %v", err)
+	}
+	if r.Status || !errors.Is(r.Err, core.ErrTokenUsed) {
+		t.Errorf("replayed one-time token after recovery: status=%v err=%v, want ErrTokenUsed", r.Status, r.Err)
+	}
+	if r, err := w2.Call(*addr, "ping", issue(2)); err != nil || !r.Status {
+		t.Fatalf("fresh index after recovery: %v / %+v", err, r)
+	}
+}

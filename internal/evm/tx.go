@@ -34,6 +34,11 @@ type Transaction struct {
 	// Method and Args describe the call; Args must be ABI-encodable.
 	Method string
 	Args   []any
+	// RawData, when non-nil, is the pre-encoded application calldata
+	// (selector ‖ encoded args) and takes precedence over Method/Args.
+	// The durability replay path uses it so a logged transaction
+	// re-executes byte-identically without re-deriving ABI arguments.
+	RawData []byte
 	// Tokens is the SMACS token array (one entry per SMACS-enabled
 	// contract in the triggered call chain, § IV-D).
 	Tokens [][]byte
@@ -69,6 +74,9 @@ var (
 // excluding the token array. This is the msg.data that argument tokens bind
 // to (see DESIGN.md, "calldata binding note").
 func (tx *Transaction) AppData() ([]byte, error) {
+	if tx.RawData != nil {
+		return tx.RawData, nil
+	}
 	if tx.Method == "" {
 		return nil, nil
 	}

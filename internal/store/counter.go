@@ -1,0 +1,118 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Counter is a durable one-time-index allocator: it satisfies the Token
+// Service's ts.Counter interface and writes a KindLease record for every
+// value it hands out, so a restarted service never re-issues an index.
+//
+// It is meant to sit UNDER a ts.ShardedCounter: there it allocates block
+// ids, so one WAL append (one fsync, amortized further by group commit)
+// covers a whole block of token indexes. A crash burns the
+// leased-but-unused remainder of every open block — replay resumes
+// strictly above the highest durable lease and never reclaims the gap.
+// Burning is the safe side of the paper's § IV-C at-most-once
+// requirement: indexes are plentiful, duplicates are fatal.
+//
+// Every SnapshotEvery leases the counter folds its WAL into an 8-byte
+// snapshot so the log never grows past a bounded tail.
+type Counter struct {
+	mu        sync.Mutex
+	b         Backend
+	next      int64
+	sinceSnap int
+	// SnapshotEvery bounds WAL growth: after this many leases the counter
+	// snapshots its high-water mark and rotates the log. 0 uses
+	// DefaultCounterSnapshotEvery; negative disables snapshots.
+	snapshotEvery int
+}
+
+// DefaultCounterSnapshotEvery is the lease count between counter
+// snapshots when CounterOptions leave it unset.
+const DefaultCounterSnapshotEvery = 4096
+
+// OpenCounter replays the backend and returns a counter that resumes
+// strictly above every durable lease. snapshotEvery 0 selects
+// DefaultCounterSnapshotEvery; negative disables snapshotting.
+func OpenCounter(b Backend, snapshotEvery int) (*Counter, error) {
+	snap, recs, err := b.Replay()
+	if err != nil {
+		return nil, fmt.Errorf("store: replay counter: %w", err)
+	}
+	return CounterFrom(b, snap, recs, snapshotEvery)
+}
+
+// CounterFrom builds a counter from an already-replayed backend — used
+// when one backend's replay feeds several consumers.
+func CounterFrom(b Backend, snapshot []byte, recs []Record, snapshotEvery int) (*Counter, error) {
+	if snapshotEvery == 0 {
+		snapshotEvery = DefaultCounterSnapshotEvery
+	}
+	c := &Counter{b: b, snapshotEvery: snapshotEvery}
+	if snapshot != nil {
+		if len(snapshot) != 8 {
+			return nil, fmt.Errorf("store: counter snapshot must be 8 bytes, got %d", len(snapshot))
+		}
+		c.next = int64(binary.BigEndian.Uint64(snapshot))
+	}
+	for _, rec := range recs {
+		if rec.Kind == KindLease && rec.Value > c.next {
+			c.next = rec.Value
+		}
+	}
+	return c, nil
+}
+
+// Last returns the highest index handed out so far (0 before the first
+// Next). After recovery it is ≥ every index any previous incarnation
+// ever returned.
+func (c *Counter) Last() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.next
+}
+
+// Next implements ts.Counter. The lease record is durable before the
+// value is returned: an index (or block id) the caller ever observes can
+// never be issued again, even across a crash at any point.
+func (c *Counter) Next() (int64, error) {
+	c.mu.Lock()
+	c.next++
+	n := c.next
+	snap := false
+	if c.snapshotEvery > 0 {
+		c.sinceSnap++
+		if c.sinceSnap >= c.snapshotEvery {
+			c.sinceSnap = 0
+			snap = true
+		}
+	}
+	c.mu.Unlock()
+
+	// Append outside the allocator mutex: group commit coalesces the
+	// fsyncs of concurrent allocations. Out-of-order durability is safe —
+	// if lease n is durable while n-1 is not, n-1's Next has not returned
+	// yet, so no index from its block was ever observed.
+	if err := c.b.Append(Record{Kind: KindLease, Value: n}); err != nil {
+		return 0, fmt.Errorf("store: persist lease %d: %w", n, err)
+	}
+	if snap {
+		// Hold the allocator mutex across the rotation so no lease can be
+		// allocated (and appended into the generation being retired) after
+		// the high-water mark is read: every lease the snapshot subsumes
+		// is ≤ the snapshotted value.
+		c.mu.Lock()
+		var blob [8]byte
+		binary.BigEndian.PutUint64(blob[:], uint64(c.next))
+		err := c.b.Snapshot(blob[:])
+		c.mu.Unlock()
+		if err != nil {
+			return 0, fmt.Errorf("store: snapshot counter: %w", err)
+		}
+	}
+	return n, nil
+}

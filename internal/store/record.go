@@ -1,0 +1,113 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL frame layout (all integers big-endian):
+//
+//	u32 payloadLen ‖ u32 crc32c(payload) ‖ payload
+//	payload := u8 kind ‖ u64 value ‖ data…
+//
+// The frame is self-delimiting and self-checking: replay walks frames
+// until the bytes run out or a frame fails its checks, and everything
+// from the first bad frame on is treated as a torn tail (the suffix a
+// crash mid-write leaves behind) — discarded, never decoded.
+
+// frameHeaderLen is the fixed prefix of a frame: length + CRC.
+const frameHeaderLen = 8
+
+// payloadFixedLen is the fixed prefix of a payload: kind + value.
+const payloadFixedLen = 9
+
+// maxPayloadLen bounds a single record so a corrupted length field can
+// never cause a multi-gigabyte allocation during replay.
+const maxPayloadLen = 1 << 26 // 64 MiB
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame is returned (wrapped) for a frame that is structurally
+// invalid: truncated, oversized, CRC mismatch, or unknown record kind.
+var ErrBadFrame = errors.New("store: bad WAL frame")
+
+// AppendRecord appends the framed encoding of rec to dst.
+func AppendRecord(dst []byte, rec Record) ([]byte, error) {
+	if !rec.Valid() {
+		return dst, fmt.Errorf("store: cannot encode record of kind %d", rec.Kind)
+	}
+	if len(rec.Data) > maxPayloadLen-payloadFixedLen {
+		return dst, fmt.Errorf("store: record data too large (%d bytes)", len(rec.Data))
+	}
+	payloadLen := payloadFixedLen + len(rec.Data)
+	var hdr [frameHeaderLen + payloadFixedLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+	hdr[8] = byte(rec.Kind)
+	binary.BigEndian.PutUint64(hdr[9:17], uint64(rec.Value))
+	crc := crc32.Checksum(hdr[8:], crcTable)
+	crc = crc32.Update(crc, crcTable, rec.Data)
+	binary.BigEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, rec.Data...), nil
+}
+
+// EncodeRecord returns the framed encoding of rec.
+func EncodeRecord(rec Record) ([]byte, error) {
+	return AppendRecord(nil, rec)
+}
+
+// DecodeFrame decodes the frame at the start of b, returning the record
+// and the number of bytes consumed. Any structural problem — truncation,
+// an oversized or undersized length, a CRC mismatch, an unknown kind —
+// is reported as ErrBadFrame; the caller treats it as the torn tail.
+func DecodeFrame(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderLen {
+		return Record{}, 0, fmt.Errorf("%w: truncated header (%d bytes)", ErrBadFrame, len(b))
+	}
+	payloadLen := int(binary.BigEndian.Uint32(b[0:4]))
+	if payloadLen < payloadFixedLen || payloadLen > maxPayloadLen {
+		return Record{}, 0, fmt.Errorf("%w: implausible payload length %d", ErrBadFrame, payloadLen)
+	}
+	if len(b) < frameHeaderLen+payloadLen {
+		return Record{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)",
+			ErrBadFrame, len(b)-frameHeaderLen, payloadLen)
+	}
+	payload := b[frameHeaderLen : frameHeaderLen+payloadLen]
+	want := binary.BigEndian.Uint32(b[4:8])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch (want %08x, got %08x)", ErrBadFrame, want, got)
+	}
+	rec := Record{
+		Kind:  RecordKind(payload[0]),
+		Value: int64(binary.BigEndian.Uint64(payload[1:9])),
+	}
+	if !rec.Valid() {
+		return Record{}, 0, fmt.Errorf("%w: unknown record kind %d", ErrBadFrame, payload[0])
+	}
+	if payloadLen > payloadFixedLen {
+		rec.Data = append([]byte(nil), payload[payloadFixedLen:]...)
+	}
+	return rec, frameHeaderLen + payloadLen, nil
+}
+
+// DecodeAll walks frames from the start of b and returns every record up
+// to (not including) the first bad frame, plus the byte offset where the
+// good prefix ends. A clean log returns goodLen == len(b) and a nil
+// tailErr; a torn or corrupted tail is reported in tailErr but is not an
+// error of the decode itself — crash recovery expects it.
+func DecodeAll(b []byte) (recs []Record, goodLen int, tailErr error) {
+	off := 0
+	for off < len(b) {
+		rec, n, err := DecodeFrame(b[off:])
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+	return recs, off, nil
+}

@@ -1,0 +1,85 @@
+package ts_test
+
+import (
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/ts"
+)
+
+// TestShardedCounterLeaseAbandonment pins the crash contract documented
+// on ShardedCounter: blocks leased by a crashed holder are burned, never
+// reclaimed. A restarted service must (a) never re-issue an index a
+// previous incarnation issued, and (b) never issue the unissued
+// remainder of an abandoned block either — recovery resumes strictly
+// above the highest durable lease.
+func TestShardedCounterLeaseAbandonment(t *testing.T) {
+	const (
+		shards    = 2
+		blockSize = 8
+	)
+	dir := t.TempDir()
+
+	openSharded := func() (*store.File, *store.Counter, *ts.ShardedCounter) {
+		t.Helper()
+		f, err := store.OpenFile(dir, store.FileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := store.OpenCounter(f, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ts.NewShardedCounter(c, shards, blockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, c, sc
+	}
+
+	// First incarnation: issue enough to hold partially-used leases on
+	// both shards, then crash (abandon without Close).
+	_, _, sc1 := openSharded()
+	issued := make(map[int64]bool)
+	var maxIssued int64
+	for i := 0; i < 2*blockSize-3; i++ {
+		idx, err := sc1.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if issued[idx] {
+			t.Fatalf("index %d issued twice pre-crash", idx)
+		}
+		issued[idx] = true
+		if idx > maxIssued {
+			maxIssued = idx
+		}
+	}
+
+	// Second incarnation over the same WAL.
+	_, c2, sc2 := openSharded()
+	// Every index of every durably leased block — issued or not — is
+	// below this fence; recovery must never go back under it.
+	fence := c2.Last() * blockSize
+	if fence < maxIssued {
+		t.Fatalf("recovered high-water %d below an issued index %d: lease not durable", fence, maxIssued)
+	}
+	for i := 0; i < 3*shards*blockSize; i++ {
+		idx, err := sc2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if issued[idx] {
+			t.Fatalf("index %d issued twice across the crash", idx)
+		}
+		if idx <= fence {
+			t.Fatalf("index %d reclaimed from an abandoned block (fence %d): "+
+				"burned indexes must stay burned", idx, fence)
+		}
+	}
+
+	// The burn is bounded: one crash skips at most MaxSpread indexes.
+	if burned := fence - maxIssued; burned > sc2.MaxSpread() {
+		t.Errorf("crash burned %d indexes, exceeding the MaxSpread bound %d", burned, sc2.MaxSpread())
+	}
+}

@@ -29,6 +29,17 @@ import (
 // flowing (a ShardedCounter that goes idle forever while others share
 // the same underlying counter can hold leased-but-unissued indexes
 // arbitrarily far behind).
+//
+// Lease abandonment: when the underlying counter is durable (e.g.
+// store.Counter), a block's lease is persisted before any index from it
+// is handed out. A crashed holder's blocks are therefore BURNED, never
+// reclaimed — the restarted counter resumes strictly above its highest
+// durable lease, so the leased-but-unissued remainder (at most
+// MaxSpread indexes per crash) is permanently skipped. Burning is the
+// safe side of the § IV-C at-most-once requirement: reclaiming would
+// require knowing which indexes of a partially-used block reached a
+// client, which a crash forgets; indexes are plentiful and duplicates
+// are fatal. TestShardedCounterLeaseAbandonment pins this contract.
 type ShardedCounter struct {
 	underlying Counter
 	blockSize  int64
