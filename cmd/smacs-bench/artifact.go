@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"time"
+)
+
+// benchArtifact is the per-commit benchmark trajectory record: one sweep
+// result stamped with the mode, the commit it measured, and when. CI
+// uploads these as BENCH_<mode>.json workflow artifacts, so plotting
+// throughput or latency over the repo's history is a download plus jq —
+// no re-running old commits.
+type benchArtifact struct {
+	Mode string `json:"mode"`
+	// GitSHA is the vcs.revision the binary was built from (omitted when
+	// the build carried no VCS stamp, e.g. `go run` of a dirty checkout
+	// with -buildvcs=false).
+	GitSHA string `json:"gitSHA,omitempty"`
+	// Dirty marks a build from a checkout with uncommitted changes: the
+	// numbers then measure GitSHA plus unknown local edits.
+	Dirty     bool   `json:"dirty,omitempty"`
+	Timestamp string `json:"timestamp"`
+	Result    any    `json:"result"`
+}
+
+// buildRevision reads the VCS stamp the Go toolchain embeds at build
+// time; shelling out to git would misattribute a binary measured from a
+// different checkout than the one it was built from.
+func buildRevision() (sha string, dirty bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			sha = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return sha, dirty
+}
+
+// benchArtifactPath resolves the -bench-json flag: "auto" places the
+// artifact at out/BENCH_<mode>.json, "" disables it, anything else is an
+// explicit path.
+func benchArtifactPath(benchJSON, mode string) string {
+	switch benchJSON {
+	case "":
+		return ""
+	case "auto":
+		return filepath.Join("out", "BENCH_"+mode+".json")
+	default:
+		return benchJSON
+	}
+}
+
+// writeBenchArtifact stamps res and writes it to path, creating the
+// parent directory so the default out/ location works on a fresh clone.
+func writeBenchArtifact(path, mode string, res sweepResult) error {
+	if path == "" {
+		return nil
+	}
+	sha, dirty := buildRevision()
+	art := benchArtifact{
+		Mode:      mode,
+		GitSHA:    sha,
+		Dirty:     dirty,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Result:    res,
+	}
+	enc, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("bench artifact: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench artifact: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", path)
+	return nil
+}

@@ -22,6 +22,11 @@
 //	smacs-bench -mode e2e -scenario adversarial -smoke
 //	smacs-bench -mode e2e -scenario durable -smoke       # crash + WAL recovery mid-run
 //	smacs-bench -mode e2e -smoke -envelope out/e2e-envelope.json   # CI gate
+//	smacs-bench -mode e2e -smoke -trace out/trace.json   # sampled stage traces
+//
+// Every sweep mode also writes a git-SHA-stamped trajectory artifact
+// (out/BENCH_<mode>.json by default; see -bench-json) so CI can archive
+// per-commit performance without re-running old commits.
 //
 // Flag combinations are validated up front: an unknown -scenario, or
 // unknown entries in -modes/-chainmodes, exit with status 2 and a usage
@@ -45,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -80,10 +86,13 @@ func main() {
 		storeKind  = flag.String("store", "mem", `load: counter persistence, "mem" or "file" (a durable WAL-backed store.Counter)`)
 		dirPath    = flag.String("dir", "", "load/e2e: directory for file-backed WALs and snapshots (empty: a temp dir)")
 		fsyncBatch = flag.Int("fsync-batch", 0, "load/e2e: appends coalesced per fsync in file-backed stores (0: store default)")
+
+		benchJSON = flag.String("bench-json", "auto", `load/chain/e2e: write the sweep as a git-SHA-stamped trajectory artifact ("auto": out/BENCH_<mode>.json, "": disabled, else an explicit path)`)
+		tracePath = flag.String("trace", "", "e2e: write sampled per-operation stage traces (token round-trip → batch → commit) as JSON to this path")
 	)
 	flag.Parse()
 
-	if err := validateSelection(*mode, *scenario, *modes, *chainModes, *smoke, *envelopePath, *writeEnvelope, *storeKind, *dirPath, *fsyncBatch); err != nil {
+	if err := validateSelection(*mode, *scenario, *modes, *chainModes, *smoke, *envelopePath, *writeEnvelope, *storeKind, *dirPath, *fsyncBatch, *benchJSON, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "smacs-bench:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -102,16 +111,17 @@ func main() {
 			os.Exit(130)
 		}()
 
+		benchPath := benchArtifactPath(*benchJSON, *mode)
 		var err error
 		switch *mode {
 		case "load":
 			err = runLoad(*workers, *duration, *warmup, *onetime, *rtt, *batch, *modes,
-				*storeKind, *dirPath, *fsyncBatch, *csvPath, *asJSON, flusher)
+				*storeKind, *dirPath, *fsyncBatch, *csvPath, benchPath, *asJSON, flusher)
 		case "chain":
-			err = runChain(*workers, *txs, *senders, *batch, *chainModes, *csvPath, *asJSON, flusher)
+			err = runChain(*workers, *txs, *senders, *batch, *chainModes, *csvPath, benchPath, *asJSON, flusher)
 		case "e2e":
 			err = runE2E(*scenario, *smoke, *envelopePath, *writeEnvelope,
-				*dirPath, *fsyncBatch, *csvPath, *asJSON, flusher)
+				*dirPath, *fsyncBatch, *csvPath, benchPath, *tracePath, *asJSON, flusher)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smacs-bench:", err)
@@ -134,7 +144,7 @@ func main() {
 // -chainmodes entries, and e2e-only flags outside -mode e2e. Catching
 // these up front means a typo exits with a usage message instead of
 // silently discarding minutes of completed sweep cells.
-func validateSelection(mode, scenario, modes, chainModes string, smoke bool, envelopePath, writeEnvelope, storeKind, dirPath string, fsyncBatch int) error {
+func validateSelection(mode, scenario, modes, chainModes string, smoke bool, envelopePath, writeEnvelope, storeKind, dirPath string, fsyncBatch int, benchJSON, tracePath string) error {
 	switch mode {
 	case "", "load", "chain", "e2e":
 	default:
@@ -206,6 +216,14 @@ func validateSelection(mode, scenario, modes, chainModes string, smoke bool, env
 		if err := checkEntries("-chainmodes", chainModes, bench.ChainModes); err != nil {
 			return err
 		}
+	}
+	if tracePath != "" && mode != "e2e" {
+		return fmt.Errorf("-trace requires -mode e2e")
+	}
+	// "auto" is the default and silently degrades to "no artifact" for the
+	// paper tables; an explicit path outside the sweep modes is a mistake.
+	if benchJSON != "" && benchJSON != "auto" && mode == "" {
+		return fmt.Errorf("-bench-json requires -mode load, chain, or e2e")
 	}
 	return nil
 }
@@ -296,7 +314,7 @@ func emitSweep(res sweepResult, csvPath string, asJSON bool) error {
 	return nil
 }
 
-func runChain(workers string, txs, senders, batch int, modes, csvPath string, asJSON bool, flusher *partialFlusher) error {
+func runChain(workers string, txs, senders, batch int, modes, csvPath, benchPath string, asJSON bool, flusher *partialFlusher) error {
 	cfg := bench.ChainConfig{
 		Txs:       txs,
 		Senders:   senders,
@@ -316,10 +334,13 @@ func runChain(workers string, txs, senders, batch int, modes, csvPath string, as
 	if err != nil {
 		return err
 	}
-	return emitSweep(res, csvPath, asJSON)
+	if err := emitSweep(res, csvPath, asJSON); err != nil {
+		return err
+	}
+	return writeBenchArtifact(benchPath, "chain", res)
 }
 
-func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt time.Duration, batch int, modes, storeKind, dir string, fsyncBatch int, csvPath string, asJSON bool, flusher *partialFlusher) error {
+func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt time.Duration, batch int, modes, storeKind, dir string, fsyncBatch int, csvPath, benchPath string, asJSON bool, flusher *partialFlusher) error {
 	cfg := bench.LoadConfig{
 		Duration:   duration,
 		Warmup:     warmup,
@@ -344,13 +365,16 @@ func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt t
 	if err != nil {
 		return err
 	}
-	return emitSweep(res, csvPath, asJSON)
+	if err := emitSweep(res, csvPath, asJSON); err != nil {
+		return err
+	}
+	return writeBenchArtifact(benchPath, "load", res)
 }
 
 // runE2E drives the end-to-end scenario harness and, when asked, writes
 // or checks the correctness-count envelope. An envelope mismatch is an
 // error, so CI fails the build on functional drift in the full pipeline.
-func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, dir string, fsyncBatch int, csvPath string, asJSON bool, flusher *partialFlusher) error {
+func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, dir string, fsyncBatch int, csvPath, benchPath, tracePath string, asJSON bool, flusher *partialFlusher) error {
 	if scenario == "all" {
 		scenario = ""
 	}
@@ -359,6 +383,11 @@ func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, dir string
 		Smoke:      smoke,
 		Dir:        dir,
 		FsyncBatch: fsyncBatch,
+	}
+	var tracer *metrics.Tracer
+	if tracePath != "" {
+		tracer = metrics.NewTracer(0)
+		cfg.Tracer = tracer
 	}
 	var rows []bench.E2ERow
 	cfg.OnRow = func(r bench.E2ERow) {
@@ -371,6 +400,19 @@ func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, dir string
 	}
 	if err := emitSweep(res, csvPath, asJSON); err != nil {
 		return err
+	}
+	if err := writeBenchArtifact(benchPath, "e2e", res); err != nil {
+		return err
+	}
+	if tracePath != "" {
+		dump, err := tracer.DumpJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(tracePath, append(dump, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", tracePath, "(", tracer.Len(), "traces )")
 	}
 	if writeEnvelope != "" {
 		enc, err := json.MarshalIndent(res.Envelope(), "", "  ")

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/bench"
 )
 
 // TestMain lets this test binary impersonate the smacs-bench CLI: when
@@ -37,7 +40,7 @@ func TestSIGINTFlushesPartialResults(t *testing.T) {
 		"SMACS_BENCH_BE_MAIN=1",
 		// 4 modes × 2 worker counts ≈ 8 cells of ~1.1 s each: far from
 		// done when the interrupt lands, with several cells completed.
-		"SMACS_BENCH_ARGS=-mode load -workers 1,2 -duration 1s -warmup 100ms -rtt 0 -csv "+csvPath,
+		"SMACS_BENCH_ARGS=-mode load -workers 1,2 -duration 1s -warmup 100ms -rtt 0 -bench-json= -csv "+csvPath,
 	)
 	var output strings.Builder
 	cmd.Stdout = &output
@@ -79,6 +82,55 @@ func TestSIGINTFlushesPartialResults(t *testing.T) {
 	}
 }
 
+// The trajectory artifact must carry the mode, a timestamp, and the full
+// sweep result; -bench-json resolution maps "auto" to out/BENCH_<mode>.json
+// and "" to no artifact at all.
+func TestBenchArtifact(t *testing.T) {
+	if got := benchArtifactPath("auto", "e2e"); got != filepath.Join("out", "BENCH_e2e.json") {
+		t.Errorf("auto path = %q", got)
+	}
+	if got := benchArtifactPath("", "load"); got != "" {
+		t.Errorf("disabled path = %q", got)
+	}
+	if got := benchArtifactPath("custom.json", "load"); got != "custom.json" {
+		t.Errorf("explicit path = %q", got)
+	}
+	if err := writeBenchArtifact("", "load", nil); err != nil {
+		t.Fatalf("disabled artifact should be a no-op, got %v", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "nested", "BENCH_e2e.json")
+	res := &bench.E2EResult{Rows: []bench.E2ERow{{Scenario: "quickstart"}}}
+	if err := writeBenchArtifact(path, "e2e", res); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art struct {
+		Mode      string `json:"mode"`
+		Timestamp string `json:"timestamp"`
+		Result    struct {
+			Rows []struct {
+				Scenario string `json:"scenario"`
+			} `json:"rows"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact is not JSON: %v\n%s", err, raw)
+	}
+	if art.Mode != "e2e" {
+		t.Errorf("mode = %q", art.Mode)
+	}
+	if _, err := time.Parse(time.RFC3339, art.Timestamp); err != nil {
+		t.Errorf("timestamp %q: %v", art.Timestamp, err)
+	}
+	if len(art.Result.Rows) != 1 || art.Result.Rows[0].Scenario != "quickstart" {
+		t.Errorf("result rows = %+v", art.Result.Rows)
+	}
+}
+
 // Flag combinations must be rejected up front — an unknown scenario or
 // sweep-mode entry exits with a usage message instead of being silently
 // ignored (or worse, discovered after minutes of completed cells).
@@ -95,6 +147,8 @@ func TestValidateSelection(t *testing.T) {
 		store      string // "" maps to the "mem" flag default
 		dir        string
 		fsyncBatch int
+		benchJSON  string // "" maps to the "auto" flag default
+		trace      string
 		wantErr    string // "" = valid
 	}{
 		{name: "paper tables", mode: ""},
@@ -124,6 +178,12 @@ func TestValidateSelection(t *testing.T) {
 		{name: "dir without file store", mode: "load", dir: "/tmp/w", wantErr: "-dir requires -store file or -mode e2e"},
 		{name: "fsync-batch without file store", mode: "chain", fsyncBatch: 8, wantErr: "-fsync-batch requires -store file or -mode e2e"},
 		{name: "negative fsync-batch", mode: "load", store: "file", fsyncBatch: -1, wantErr: "-fsync-batch must be ≥ 0"},
+
+		{name: "e2e trace", mode: "e2e", smoke: true, trace: "out/trace.json"},
+		{name: "trace outside e2e", mode: "load", trace: "out/trace.json", wantErr: "-trace requires -mode e2e"},
+		{name: "bench-json auto in paper mode", mode: ""}, // default degrades silently
+		{name: "explicit bench-json", mode: "chain", benchJSON: "out/BENCH_chain.json"},
+		{name: "bench-json outside sweep modes", mode: "", benchJSON: "x.json", wantErr: "-bench-json requires -mode"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -131,7 +191,11 @@ func TestValidateSelection(t *testing.T) {
 			if store == "" {
 				store = "mem"
 			}
-			err := validateSelection(tt.mode, tt.scenario, tt.modes, tt.chainModes, tt.smoke, tt.envelope, tt.writeEnv, store, tt.dir, tt.fsyncBatch)
+			benchJSON := tt.benchJSON
+			if benchJSON == "" {
+				benchJSON = "auto"
+			}
+			err := validateSelection(tt.mode, tt.scenario, tt.modes, tt.chainModes, tt.smoke, tt.envelope, tt.writeEnv, store, tt.dir, tt.fsyncBatch, benchJSON, tt.trace)
 			if tt.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

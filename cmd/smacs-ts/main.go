@@ -15,6 +15,14 @@
 //
 //	smacs-ts -store file -dir /var/lib/smacs-ts -fsync-batch 16
 //
+// Observability: GET /metrics on the main listener renders the process
+// registry (issuance counters, HTTP latency histograms, WAL series) in
+// Prometheus text format. -metrics-addr moves the scrape endpoint to a
+// separate, typically private, listener; -pprof additionally mounts
+// /debug/pprof/* there (or on the main listener without -metrics-addr):
+//
+//	smacs-ts -addr :8546 -metrics-addr 127.0.0.1:9100 -pprof
+//
 // The rules file uses the Fig. 6 layout, e.g.:
 //
 //	{
@@ -28,11 +36,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/rules"
 	"repro/internal/secp256k1"
 	"repro/internal/store"
@@ -52,12 +63,36 @@ func main() {
 		dirPath    = flag.String("dir", "", "-store file: directory for the counter WAL and snapshots")
 		fsyncBatch = flag.Int("fsync-batch", 0, "-store file: appends coalesced per fsync (0: store default)")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "index counter shards (concurrent issuance lanes)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics on this separate listener (empty: the main listener's /metrics)")
+		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/* on the metrics listener (or the main one without -metrics-addr)")
 	)
 	flag.Parse()
-	if err := run(*addr, *keySeed, *rulesPath, *ownerToken, *lifetime, *needProof, *storeKind, *dirPath, *fsyncBatch, *shards); err != nil {
+	if err := validateFlags(*addr, *metricsAddr, *shards, *fsyncBatch); err != nil {
+		fmt.Fprintln(os.Stderr, "smacs-ts:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *keySeed, *rulesPath, *ownerToken, *lifetime, *needProof, *storeKind, *dirPath, *fsyncBatch, *shards, *metricsAddr, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "smacs-ts:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects inconsistent observability and sizing flags up
+// front, so a typo exits with a usage message instead of a half-started
+// daemon (the -store/-dir combinations are validated by openCounter).
+func validateFlags(addr, metricsAddr string, shards, fsyncBatch int) error {
+	if metricsAddr != "" && metricsAddr == addr {
+		return fmt.Errorf("-metrics-addr %q collides with -addr: the main listener already serves /metrics", metricsAddr)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be ≥ 1, got %d", shards)
+	}
+	if fsyncBatch < 0 {
+		return fmt.Errorf("-fsync-batch must be ≥ 0, got %d", fsyncBatch)
+	}
+	return nil
 }
 
 // counterBlockSize is how many one-time indexes each shard leases per
@@ -105,7 +140,7 @@ func openCounter(storeKind, dirPath string, fsyncBatch, shards int) (ts.Counter,
 	}
 }
 
-func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, needProof bool, storeKind, dirPath string, fsyncBatch, shards int) error {
+func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, needProof bool, storeKind, dirPath string, fsyncBatch, shards int, metricsAddr string, pprofOn bool) error {
 	var key *secp256k1.PrivateKey
 	if keySeed != "" {
 		key = secp256k1.PrivateKeyFromSeed([]byte(keySeed))
@@ -137,7 +172,23 @@ func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, ne
 	if err != nil {
 		return err
 	}
-	server := tshttp.NewServer(svc, ownerToken)
+	server := tshttp.NewServerWithOptions(svc, ownerToken, tshttp.ServerOptions{
+		Pprof: pprofOn && metricsAddr == "",
+	})
+
+	if metricsAddr != "" {
+		// Bind synchronously so a bad -metrics-addr fails the start, not a
+		// goroutine minutes later; serve in the background thereafter.
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		go func() {
+			if err := http.Serve(ln, metricsHandler(pprofOn)); err != nil {
+				fmt.Fprintln(os.Stderr, "smacs-ts: metrics listener:", err)
+			}
+		}()
+	}
 
 	fmt.Printf("SMACS Token Service\n")
 	fmt.Printf("  signing address: %s  (preload this into your contracts' verifier)\n", svc.Address())
@@ -148,8 +199,33 @@ func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, ne
 		fmt.Printf("  index counter:   in-memory (%d shards; restart forgets the high-water mark)\n", shards)
 	}
 	fmt.Printf("  listening on:    %s\n", addr)
+	if metricsAddr != "" {
+		fmt.Printf("  metrics on:      %s/metrics", metricsAddr)
+	} else {
+		fmt.Printf("  metrics on:      %s/metrics", addr)
+	}
+	if pprofOn {
+		fmt.Printf(" (+ /debug/pprof)")
+	}
+	fmt.Printf("\n")
 	if ownerToken == "" {
 		fmt.Printf("  rule admin:      disabled (set -owner-token to enable)\n")
 	}
 	return http.ListenAndServe(addr, server.Handler())
+}
+
+// metricsHandler serves the process-default registry (the one the service,
+// store, and HTTP frontend all record into when no explicit registry is
+// configured) on the dedicated observability listener.
+func metricsHandler(pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", metrics.Default().Handler())
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net/http/httptest"
 	"testing"
 )
 
@@ -48,5 +49,46 @@ func TestOpenCounterRejectsBadFlags(t *testing.T) {
 	}
 	if _, err := openCounter("tape", "", 0, 1); err == nil {
 		t.Error("unknown store accepted")
+	}
+}
+
+// Bad observability/sizing flag combinations must be rejected before the
+// daemon does any work (main exits 2 with usage on these).
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(":8546", "", 4, 0); err != nil {
+		t.Errorf("default flags rejected: %v", err)
+	}
+	if err := validateFlags(":8546", "127.0.0.1:9100", 4, 16); err != nil {
+		t.Errorf("separate metrics listener rejected: %v", err)
+	}
+	if err := validateFlags(":8546", ":8546", 4, 0); err == nil {
+		t.Error("-metrics-addr colliding with -addr accepted")
+	}
+	if err := validateFlags(":8546", "", 0, 0); err == nil {
+		t.Error("-shards 0 accepted")
+	}
+	if err := validateFlags(":8546", "", 4, -1); err == nil {
+		t.Error("negative -fsync-batch accepted")
+	}
+}
+
+// The dedicated metrics listener serves the default registry and only
+// mounts pprof when asked.
+func TestMetricsHandlerRoutes(t *testing.T) {
+	for _, tc := range []struct {
+		pprofOn    bool
+		path       string
+		wantStatus int
+	}{
+		{false, "/metrics", 200},
+		{false, "/debug/pprof/cmdline", 404},
+		{true, "/debug/pprof/cmdline", 200},
+		{true, "/metrics", 200},
+	} {
+		rec := httptest.NewRecorder()
+		metricsHandler(tc.pprofOn).ServeHTTP(rec, httptest.NewRequest("GET", tc.path, nil))
+		if rec.Code != tc.wantStatus {
+			t.Errorf("pprof=%v GET %s = %d, want %d", tc.pprofOn, tc.path, rec.Code, tc.wantStatus)
+		}
 	}
 }

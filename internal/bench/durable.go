@@ -12,6 +12,7 @@ import (
 	"repro/internal/contracts"
 	"repro/internal/core"
 	"repro/internal/evm"
+	"repro/internal/metrics"
 	"repro/internal/rules"
 	"repro/internal/secp256k1"
 	"repro/internal/store"
@@ -137,9 +138,18 @@ func runDurable(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 		return nil
 	}
 
-	agg := &e2eAgg{}
+	// Both incarnations report to one registry, so the series span the
+	// crash: recovery metrics from phase 2's stores land next to phase
+	// 1's issuance counters, exactly like a restarted daemon scraping to
+	// the same Prometheus.
+	reg := metrics.NewRegistry()
+	core.RegisterCacheMetrics(reg)
+	senderH0, senderM0 := evm.SenderCacheStats()
+	tokenH0, tokenM0 := core.TokenSigCacheStats()
+
+	agg := newE2EAgg(reg)
 	open := func(phaseOps int) (*durableWorld, error) {
-		fileOpts := store.FileOptions{FsyncBatch: run.FsyncBatch}
+		fileOpts := store.FileOptions{FsyncBatch: run.FsyncBatch, Metrics: reg}
 		tsFile, err := store.OpenFile(tsDir, fileOpts)
 		if err != nil {
 			return nil, err
@@ -152,11 +162,11 @@ func runDurable(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 		if err != nil {
 			return nil, err
 		}
-		svc, err := ts.New(ts.Config{Key: tsKey, Rules: ruleSet, Counter: sharded})
+		svc, err := ts.New(ts.Config{Key: tsKey, Rules: ruleSet, Counter: sharded, Metrics: reg})
 		if err != nil {
 			return nil, err
 		}
-		base, stopHTTP, err := startServer(svc)
+		base, stopHTTP, err := startServer(svc, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -165,7 +175,9 @@ func runDurable(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 			stopHTTP()
 			return nil, err
 		}
-		chain, err := evm.RecoverChain(evm.DefaultConfig(), chainFile, durableChainSnapEvery, boot)
+		chainCfg := evm.DefaultConfig()
+		chainCfg.Metrics = reg
+		chain, err := evm.RecoverChain(chainCfg, chainFile, durableChainSnapEvery, boot)
 		if err != nil {
 			stopHTTP()
 			return nil, fmt.Errorf("recover chain: %w", err)
@@ -180,6 +192,7 @@ func runDurable(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 			client:  tshttp.NewClient(base, ""),
 			agg:     agg,
 			sub:     make(chan *e2eOp, 4*cfg.TxBatch),
+			tracer:  run.Tracer,
 		}
 		w := &durableWorld{env: env, stopHTTP: stopHTTP}
 		w.subDone = env.startSubmitter(tsKey.Address())
@@ -237,7 +250,14 @@ func runDurable(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 		return E2ERow{}, err
 	}
 	w2.finish()
-	return finishRow(cfg, agg, time.Since(start)), nil
+	// The shared registry aggregated both incarnations' issuance; it must
+	// agree with the sum of the two frontends' /v1/stats reads.
+	if err := checkRegistryStats(reg, agg); err != nil {
+		return E2ERow{}, err
+	}
+	return finishRow(cfg, agg, time.Since(start), reg,
+		cacheRate(senderH0, senderM0, evm.SenderCacheStats),
+		cacheRate(tokenH0, tokenM0, core.TokenSigCacheStats)), nil
 }
 
 // runProducers drives every honest client plus one extra producer

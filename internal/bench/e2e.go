@@ -7,7 +7,6 @@ import (
 	"math/big"
 	"net"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -15,6 +14,7 @@ import (
 	"repro/internal/contracts"
 	"repro/internal/core"
 	"repro/internal/evm"
+	"repro/internal/metrics"
 	"repro/internal/rules"
 	"repro/internal/secp256k1"
 	"repro/internal/transform"
@@ -39,6 +39,10 @@ type E2EConfig struct {
 	// OnRow, when non-nil, observes every completed scenario row in run
 	// order; smacs-bench uses it to flush partial results on SIGINT.
 	OnRow func(E2ERow) `json:"-"`
+	// Tracer, when non-nil, receives per-operation pipeline spans
+	// (token-acquisition round-trip, submit-to-commit) keyed by
+	// "<scenario>/<sender>#<op>"; smacs-bench -trace dumps it as JSON.
+	Tracer *metrics.Tracer `json:"-"`
 }
 
 // E2ECounts are the correctness counts of one scenario run. Every field is
@@ -76,11 +80,23 @@ type E2ECounts struct {
 	RejExpired  int `json:"rejectedExpired"`
 }
 
+// StageLatency summarizes one pipeline stage's latency histogram.
+// Percentiles are nearest-rank over fixed buckets (capped at the observed
+// maximum), so they are advisory like every latency number here.
+type StageLatency struct {
+	Count     uint64  `json:"count"`
+	P50Millis float64 `json:"p50Millis"`
+	P95Millis float64 `json:"p95Millis"`
+	P99Millis float64 `json:"p99Millis"`
+	MaxMillis float64 `json:"maxMillis"`
+}
+
 // E2ERow is one scenario's measurement: exact correctness counts plus
 // advisory throughput and end-to-end latency percentiles. Latency is
 // measured per operation from the start of its token-acquisition
 // round-trip to the commit of its transaction (or completion of its
-// static call).
+// static call), and sourced from the scenario's isolated metrics
+// registry — the same histograms GET /metrics would expose.
 type E2ERow struct {
 	Scenario     string  `json:"scenario"`
 	Clients      int     `json:"clients"`
@@ -91,6 +107,17 @@ type E2ERow struct {
 	P50Millis    float64 `json:"p50Millis"`
 	P95Millis    float64 `json:"p95Millis"`
 	P99Millis    float64 `json:"p99Millis"`
+
+	// Stages breaks the pipeline down: "issue" (TS-side issuance),
+	// "http_tokens" (POST /v1/tokens service time), "prevalidate" and
+	// "commit" (ApplyBatch phases, per batch), "e2e" (per operation).
+	Stages map[string]StageLatency `json:"stages,omitempty"`
+	// SenderCacheHitRate / TokenCacheHitRate are the process-wide
+	// recovery caches' hit fractions over this scenario's traffic
+	// (measured as before/after deltas; 0 when the scenario made no
+	// lookups).
+	SenderCacheHitRate float64 `json:"senderCacheHitRate"`
+	TokenCacheHitRate  float64 `json:"tokenCacheHitRate"`
 
 	Counts E2ECounts `json:"counts"`
 }
@@ -118,7 +145,7 @@ func E2E(cfg E2EConfig) (*E2EResult, error) {
 		if sc.Durable {
 			row, err = runDurable(sc, cfg)
 		} else {
-			row, err = runScenario(sc)
+			row, err = runScenario(sc, cfg)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("e2e %s: %w", sc.Name, err)
@@ -144,19 +171,31 @@ const (
 )
 
 // e2eOp is one in-flight guarded transaction with its end-to-end start
-// time (the beginning of its token-acquisition round-trip).
+// time (the beginning of its token-acquisition round-trip). id is empty
+// unless a Tracer is attached.
 type e2eOp struct {
 	class opClass
 	tx    *evm.Transaction
 	start time.Time
+	id    string
 }
 
-// e2eAgg accumulates counts and latencies from concurrent clients and the
-// batch submitter.
+// e2eAgg accumulates counts from concurrent clients and the batch
+// submitter; end-to-end latency goes straight into a registry histogram,
+// which finishRow later summarizes.
 type e2eAgg struct {
 	mu     sync.Mutex
 	counts E2ECounts
-	lat    []time.Duration
+	opLat  *metrics.Histogram
+}
+
+// e2eOpSeconds is the end-to-end operation latency series of the
+// scenario registry.
+const e2eOpSeconds = "e2e_op_seconds"
+
+func newE2EAgg(reg *metrics.Registry) *e2eAgg {
+	return &e2eAgg{opLat: reg.Histogram(e2eOpSeconds,
+		"End-to-end operation latency: token acquisition through commit.", nil)}
 }
 
 func (a *e2eAgg) addTokens(requests, issued, denied int) {
@@ -168,9 +207,9 @@ func (a *e2eAgg) addTokens(requests, issued, denied int) {
 }
 
 func (a *e2eAgg) recordRead(start time.Time, ok bool) {
+	a.opLat.ObserveDuration(time.Since(start))
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.lat = append(a.lat, time.Since(start))
 	if ok {
 		a.counts.ReadsOK++
 	} else {
@@ -183,9 +222,9 @@ func (a *e2eAgg) recordRead(start time.Time, ok bool) {
 // reason, so a drift in rejection semantics shows up as an envelope
 // mismatch even though the transaction was still rejected.
 func (a *e2eAgg) recordTx(op *e2eOp, res evm.BatchResult, end time.Time) {
+	a.opLat.ObserveDuration(end.Sub(op.start))
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.lat = append(a.lat, end.Sub(op.start))
 	a.counts.TxSubmitted++
 	err := res.Err
 	accepted := false
@@ -233,8 +272,9 @@ type e2eEnv struct {
 	client        *tshttp.Client // main Token Service
 	expiredClient *tshttp.Client // negative-lifetime frontend (expired attacks)
 
-	agg *e2eAgg
-	sub chan *e2eOp
+	agg    *e2eAgg
+	sub    chan *e2eOp
+	tracer *metrics.Tracer // nil unless E2EConfig.Tracer is set
 }
 
 // shardedCounterShards and shardedCounterBlock configure the one-time
@@ -248,18 +288,19 @@ const (
 )
 
 // startServer exposes svc on a loopback listener and returns its base URL
-// and a shutdown function.
-func startServer(svc *ts.Service) (string, func(), error) {
+// and a shutdown function. The frontend's HTTP series land on reg, the
+// same registry the wrapped service reports to.
+func startServer(svc *ts.Service, reg *metrics.Registry) (string, func(), error) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, fmt.Errorf("listen: %w", err)
 	}
-	srv := &http.Server{Handler: tshttp.NewServer(svc, "").Handler()}
+	srv := &http.Server{Handler: tshttp.NewServerWithOptions(svc, "", tshttp.ServerOptions{Registry: reg}).Handler()}
 	go func() { _ = srv.Serve(l) }()
 	return "http://" + l.Addr().String(), func() { _ = srv.Close() }, nil
 }
 
-func runScenario(cfg ScenarioConfig) (E2ERow, error) {
+func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 	if cfg.Clients < 1 || cfg.Ops < 1 {
 		return E2ERow{}, fmt.Errorf("scenario needs clients and ops, got %d×%d", cfg.Clients, cfg.Ops)
 	}
@@ -323,16 +364,26 @@ func runScenario(cfg ScenarioConfig) (E2ERow, error) {
 		return E2ERow{}, err
 	}
 
+	// Every component of this scenario reports to one isolated registry:
+	// issuance, HTTP transport, chain, and the end-to-end histogram, so
+	// the row's stage latencies and the stats cross-check below see
+	// exactly this scenario's traffic.
+	reg := metrics.NewRegistry()
+	core.RegisterCacheMetrics(reg)
+	senderH0, senderM0 := evm.SenderCacheStats()
+	tokenH0, tokenM0 := core.TokenSigCacheStats()
+
 	svc, err := ts.New(ts.Config{
 		Key:          tsKey,
 		Rules:        ruleSet,
 		Counter:      counter,
 		RequireProof: cfg.RequireProof,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return E2ERow{}, err
 	}
-	base, stop, err := startServer(svc)
+	base, stop, err := startServer(svc, reg)
 	if err != nil {
 		return E2ERow{}, err
 	}
@@ -340,10 +391,11 @@ func runScenario(cfg ScenarioConfig) (E2ERow, error) {
 
 	env := &e2eEnv{
 		cfg:    cfg,
-		agg:    &e2eAgg{},
+		agg:    newE2EAgg(reg),
 		sub:    make(chan *e2eOp, 4*cfg.TxBatch),
 		client: tshttp.NewClient(base, ""),
 		gasPrc: big.NewInt(1),
+		tracer: run.Tracer,
 	}
 
 	// A second frontend sharing skTS but configured with a negative
@@ -356,11 +408,12 @@ func runScenario(cfg ScenarioConfig) (E2ERow, error) {
 			Rules:        ruleSet,
 			Lifetime:     -time.Hour,
 			RequireProof: cfg.RequireProof,
+			Metrics:      reg,
 		})
 		if err != nil {
 			return E2ERow{}, err
 		}
-		expiredBase, stopExpired, err := startServer(expiredSvc)
+		expiredBase, stopExpired, err := startServer(expiredSvc, reg)
 		if err != nil {
 			return E2ERow{}, err
 		}
@@ -371,7 +424,9 @@ func runScenario(cfg ScenarioConfig) (E2ERow, error) {
 	// The chain and its SMACS-enabled targets. One-time tokens need the
 	// verifier to carry a bitmap sized for every index the run can issue
 	// plus the sharded counter's spread.
-	env.chain = evm.NewChain(evm.DefaultConfig())
+	chainCfg := evm.DefaultConfig()
+	chainCfg.Metrics = reg
+	env.chain = evm.NewChain(chainCfg)
 	verifier := core.NewVerifier(tsKey.Address())
 	oneTimeTokens := cfg.ReplayedOps
 	if cfg.OneTime {
@@ -476,8 +531,41 @@ func runScenario(cfg ScenarioConfig) (E2ERow, error) {
 			return E2ERow{}, err
 		}
 	}
+	// One source of truth: the /v1/stats counters (per-frontend atomics)
+	// must agree with the registry's aggregated issuance series.
+	if err := checkRegistryStats(reg, env.agg); err != nil {
+		return E2ERow{}, err
+	}
 
-	return finishRow(cfg, env.agg, elapsed), nil
+	return finishRow(cfg, env.agg, elapsed, reg,
+		cacheRate(senderH0, senderM0, evm.SenderCacheStats),
+		cacheRate(tokenH0, tokenM0, core.TokenSigCacheStats)), nil
+}
+
+// checkRegistryStats asserts that the registry-level issuance counters
+// (summed over every frontend reporting to reg) match the /v1/stats
+// totals the harness collected over HTTP — one pipeline, two views, no
+// drift.
+func checkRegistryStats(reg *metrics.Registry, agg *e2eAgg) error {
+	issued, denied := ts.RegistryStats(reg)
+	agg.mu.Lock()
+	defer agg.mu.Unlock()
+	if int(issued) != agg.counts.TSIssued || int(denied) != agg.counts.TSRejected {
+		return fmt.Errorf("registry issuance series (%d issued, %d denied) disagree with /v1/stats (%d, %d)",
+			issued, denied, agg.counts.TSIssued, agg.counts.TSRejected)
+	}
+	return nil
+}
+
+// cacheRate computes a process-wide cache's hit fraction over the
+// scenario's own traffic, as a delta against the run-start snapshot.
+func cacheRate(h0, m0 uint64, stats func() (uint64, uint64)) float64 {
+	h1, m1 := stats()
+	dh, dm := h1-h0, m1-m0
+	if dh+dm == 0 {
+		return 0
+	}
+	return float64(dh) / float64(dh+dm)
 }
 
 // startSubmitter launches the batch submitter draining e.sub into
@@ -505,6 +593,9 @@ func (e *e2eEnv) startSubmitter(tsAddr types.Address) chan struct{} {
 			end := time.Now()
 			for i, res := range results {
 				e.agg.recordTx(pending[i], res, end)
+				if op := pending[i]; op.id != "" {
+					e.tracer.Span(op.id, "e2e", op.start, end)
+				}
 			}
 			pending = pending[:0]
 		}
@@ -534,28 +625,51 @@ func (a *e2eAgg) addServerStats(cl *tshttp.Client) error {
 	return nil
 }
 
-// finishRow folds the aggregate into the scenario's result row.
-func finishRow(cfg ScenarioConfig, agg *e2eAgg, elapsed time.Duration) E2ERow {
-	lat := agg.lat
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	pct := func(q float64) float64 {
-		if len(lat) == 0 {
-			return 0
-		}
-		return float64(lat[int(q*float64(len(lat)-1))].Microseconds()) / 1000
+// stageSummary extracts a StageLatency from one registry histogram.
+func stageSummary(h *metrics.Histogram) StageLatency {
+	return StageLatency{
+		Count:     h.Count(),
+		P50Millis: h.Quantile(0.50) * 1000,
+		P95Millis: h.Quantile(0.95) * 1000,
+		P99Millis: h.Quantile(0.99) * 1000,
+		MaxMillis: h.Max() * 1000,
 	}
+}
+
+// finishRow folds the aggregate and the scenario registry's latency
+// histograms into the result row. Stage entries with zero observations
+// are dropped (a scenario without ApplyBatch traffic has no commit
+// stage).
+func finishRow(cfg ScenarioConfig, agg *e2eAgg, elapsed time.Duration,
+	reg *metrics.Registry, senderHitRate, tokenHitRate float64) E2ERow {
+	stages := make(map[string]StageLatency)
+	for name, h := range map[string]*metrics.Histogram{
+		"e2e":         agg.opLat,
+		"issue":       reg.Histogram(ts.MetricIssueSeconds, "", nil),
+		"http_tokens": reg.Histogram(tshttp.MetricLatency, "", nil, metrics.L("route", "/v1/tokens")),
+		"prevalidate": reg.Histogram(evm.MetricPrevalidateSeconds, "", nil),
+		"commit":      reg.Histogram(evm.MetricCommitSeconds, "", nil),
+	} {
+		if s := stageSummary(h); s.Count > 0 {
+			stages[name] = s
+		}
+	}
+	e2e := stages["e2e"]
 	counts := agg.counts
 	return E2ERow{
-		Scenario:     cfg.Name,
-		Clients:      cfg.Clients,
-		OpsPerClient: cfg.Ops,
-		Seconds:      elapsed.Seconds(),
-		TokensPerSec: float64(counts.TokensIssued) / elapsed.Seconds(),
-		TxPerSec:     float64(counts.TxSubmitted) / elapsed.Seconds(),
-		P50Millis:    pct(0.50),
-		P95Millis:    pct(0.95),
-		P99Millis:    pct(0.99),
-		Counts:       counts,
+		Scenario:           cfg.Name,
+		Clients:            cfg.Clients,
+		OpsPerClient:       cfg.Ops,
+		Seconds:            elapsed.Seconds(),
+		TokensPerSec:       float64(counts.TokensIssued) / elapsed.Seconds(),
+		TxPerSec:           float64(counts.TxSubmitted) / elapsed.Seconds(),
+		P50Millis:          e2e.P50Millis,
+		P95Millis:          e2e.P95Millis,
+		P99Millis:          e2e.P99Millis,
+		Stages:             stages,
+		SenderCacheHitRate: senderHitRate,
+		TokenCacheHitRate:  tokenHitRate,
+		Counts:             counts,
 	}
 }
 
@@ -674,6 +788,7 @@ func (e *e2eEnv) runHonest(key *secp256k1.PrivateKey) error {
 		if err != nil {
 			return err
 		}
+		tokensEnd := time.Now()
 		for j := 0; j < n; j++ {
 			entries, err := e.entriesFor(res[j*perOp : (j+1)*perOp])
 			if err != nil {
@@ -689,7 +804,15 @@ func (e *e2eEnv) runHonest(key *secp256k1.PrivateKey) error {
 				return err
 			}
 			nonce++
-			e.sub <- &e2eOp{class: opWrite, tx: tx, start: start}
+			id := ""
+			if e.tracer != nil {
+				// The token round-trip is batched, so each op in the window
+				// shares the acquisition span; the submitter closes the
+				// trace with the op's own end-to-end span.
+				id = fmt.Sprintf("%s/%s#%d", e.cfg.Name, key.Address().Hex()[:10], off+j)
+				e.tracer.Span(id, "tokens", start, tokensEnd)
+			}
+			e.sub <- &e2eOp{class: opWrite, tx: tx, start: start, id: id}
 		}
 	}
 	return nil

@@ -17,7 +17,7 @@ func runScenarioT(t *testing.T, name string) E2ERow {
 	if cfg.Durable {
 		row, err = runDurable(cfg, E2EConfig{Smoke: true, Dir: t.TempDir()})
 	} else {
-		row, err = runScenario(cfg)
+		row, err = runScenario(cfg, E2EConfig{Smoke: true})
 	}
 	if err != nil {
 		t.Fatal(err)
@@ -161,5 +161,25 @@ func TestE2ECSVShape(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "quickstart,") {
 		t.Errorf("row = %q", lines[1])
+	}
+}
+
+// Stage latencies and the registry cross-check ride on the scenario's
+// isolated registry: a quickstart run must report every pipeline stage
+// with consistent observation counts.
+func TestE2EStageLatencies(t *testing.T) {
+	row := runScenarioT(t, "quickstart")
+	for _, stage := range []string{"e2e", "issue", "http_tokens", "prevalidate", "commit"} {
+		s, ok := row.Stages[stage]
+		if !ok {
+			t.Fatalf("stage %q missing from row: %v", stage, row.Stages)
+		}
+		if s.Count == 0 || s.P99Millis < s.P50Millis || s.MaxMillis < s.P99Millis {
+			t.Errorf("stage %q summary inconsistent: %+v", stage, s)
+		}
+	}
+	if n := int(row.Stages["issue"].Count); n != row.Counts.TSIssued+row.Counts.TSRejected {
+		t.Errorf("issue stage observed %d requests, /v1/stats saw %d",
+			n, row.Counts.TSIssued+row.Counts.TSRejected)
 	}
 }

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/evm"
+	"repro/internal/metrics"
+)
+
+// Token-signature cache metric names.
+const (
+	MetricTokenCacheHits   = "core_token_sig_cache_hits_total"
+	MetricTokenCacheMisses = "core_token_sig_cache_misses_total"
+)
+
+// evm cannot import core (core builds the SMACS contracts on top of the
+// chain), so the chain's outcome labeling learns about token errors
+// through the classifier hook.
+func init() {
+	evm.RegisterRevertClassifier(func(err error) (string, bool) {
+		switch {
+		case errors.Is(err, ErrTokenExpired):
+			return "token_expired", true
+		case errors.Is(err, ErrTokenUsed):
+			return "token_used", true
+		case errors.Is(err, ErrBadTokenSig):
+			return "bad_token_sig", true
+		case errors.Is(err, ErrNoToken):
+			return "no_token", true
+		case errors.Is(err, ErrMalformedToken):
+			return "malformed_token", true
+		case errors.Is(err, ErrNoBitmap):
+			return "no_bitmap", true
+		}
+		return "", false
+	})
+}
+
+// RegisterCacheMetrics exposes the process-wide token-signature cache on
+// reg as scrape-time counter funcs. The chain registers its own sender
+// cache; callers that want both series on one registry (the bench
+// harness, smacs-ts with a local chain) call this once per registry.
+func RegisterCacheMetrics(reg *metrics.Registry) {
+	reg = metrics.Or(reg)
+	reg.CounterFunc(MetricTokenCacheHits, "Shared token-signature cache hits.",
+		func() uint64 { h, _ := TokenSigCacheStats(); return h })
+	reg.CounterFunc(MetricTokenCacheMisses, "Shared token-signature cache misses.",
+		func() uint64 { _, m := TokenSigCacheStats(); return m })
+}

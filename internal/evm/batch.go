@@ -3,6 +3,7 @@ package evm
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // BatchResult pairs the outcome of one transaction in an ApplyBatch call:
@@ -43,6 +44,7 @@ func (ch *Chain) ApplyBatch(txs []*Transaction, opts BatchOptions) []BatchResult
 	if len(txs) == 0 {
 		return results
 	}
+	ch.metrics.batchSize.Observe(float64(len(txs)))
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -62,6 +64,7 @@ func (ch *Chain) ApplyBatch(txs []*Transaction, opts BatchOptions) []BatchResult
 	// behaviour identical for bad transactions.
 	recoverSenders := senderCacheOn.Load()
 	if recoverSenders || opts.Prevalidate != nil {
+		prevalidateStart := time.Now()
 		chainID := ch.cfg.ChainID
 		var wg sync.WaitGroup
 		next := make(chan *Transaction)
@@ -84,11 +87,16 @@ func (ch *Chain) ApplyBatch(txs []*Transaction, opts BatchOptions) []BatchResult
 		}
 		close(next)
 		wg.Wait()
+		ch.metrics.prevalidate.ObserveDuration(time.Since(prevalidateStart))
 	}
 
 	// Phase 2: commit serially under the chain mutex.
+	commitStart := time.Now()
 	ch.mu.Lock()
-	defer ch.mu.Unlock()
+	defer func() {
+		ch.mu.Unlock()
+		ch.metrics.commit.ObserveDuration(time.Since(commitStart))
+	}()
 	for i, tx := range txs {
 		results[i].Receipt, results[i].Err = ch.applyLocked(tx)
 	}

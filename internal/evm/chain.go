@@ -10,6 +10,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/gas"
 	"repro/internal/keccak"
+	"repro/internal/metrics"
 	"repro/internal/rlp"
 	"repro/internal/state"
 	"repro/internal/types"
@@ -26,6 +27,10 @@ type Config struct {
 	// Now supplies block timestamps; defaults to time.Now. Inject a fake
 	// clock in tests to exercise token expiry deterministically.
 	Now func() time.Time
+	// Metrics selects the registry the chain's instrumentation series
+	// (evm_txs_total, evm_apply_batch_*_seconds, …) are registered in
+	// (nil = metrics.Default()).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a testnet-like configuration.
@@ -85,6 +90,7 @@ type Chain struct {
 	deployerOf map[types.Address]types.Address
 	blocks     []*Block
 	store      *chainStore
+	metrics    *chainMetrics
 }
 
 // NewChain creates a chain with a genesis block.
@@ -104,6 +110,7 @@ func NewChain(cfg Config) *Chain {
 		contracts:  make(map[types.Address]*Contract),
 		deployedAt: make(map[types.Address]uint64),
 		deployerOf: make(map[types.Address]types.Address),
+		metrics:    newChainMetrics(metrics.Or(cfg.Metrics)),
 	}
 	ch.blocks = append(ch.blocks, &Block{Number: 0, Time: cfg.Now()})
 	return ch
@@ -260,7 +267,11 @@ func (ch *Chain) Apply(tx *Transaction) (*Receipt, error) {
 // applyLocked is the body of Apply; the chain mutex must be held. ApplyBatch
 // uses it to commit prevalidated transactions serially.
 func (ch *Chain) applyLocked(tx *Transaction) (*Receipt, error) {
-	return ch.applyAtLocked(tx, ch.cfg.Now())
+	receipt, err := ch.applyAtLocked(tx, ch.cfg.Now())
+	// Outcomes are recorded here, not in applyAtLocked, so durable replay
+	// of historical transactions does not inflate the live series.
+	ch.metrics.recordOutcome(txOutcome(receipt, err))
+	return receipt, err
 }
 
 // applyAtLocked executes tx against the given block time. Durable replay

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets are the default histogram bounds for latencies in
+// seconds: 50µs to 10s, roughly ×2–2.5 per step — wide enough to span a
+// cache-hit token issue (tens of µs) and a quorum-replicated durable
+// commit (tens of ms) in the same series.
+var DefLatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets are the default histogram bounds for unitless sizes
+// (batch lengths, fsync group sizes): powers of two from 1 to 1024.
+var DefSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Histogram is a fixed-bucket histogram. Observe is lock-free: one
+// binary search over the (immutable) bounds plus four atomic updates, no
+// allocation — cheap enough for every request on the issuance hot path.
+// Quantiles are reconstructed from the bucket counts, so p50/p95/p99 are
+// resolved to bucket granularity (and capped at the true observed max).
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; one overflow bucket past the last
+	counts []atomic.Uint64 // len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds
+// (nil = DefLatencyBuckets). Most callers want Registry.Histogram
+// instead, which names and registers the series.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v; len(bounds) = overflow
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// rendering: per-bucket counts (non-cumulative), total count, sum, max.
+// Under concurrent observation the fields may be offset by in-flight
+// Observes; treat cross-field arithmetic as approximate.
+type HistogramSnapshot struct {
+	Buckets []float64 // upper bounds
+	Counts  []uint64  // per-bucket (non-cumulative); the overflow bucket is folded into Count
+	Count   uint64
+	Sum     float64
+	Max     float64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets: h.bounds,
+		Counts:  make([]uint64, len(h.bounds)),
+		Count:   h.count.Load(),
+		Sum:     h.Sum(),
+		Max:     h.Max(),
+	}
+	for i := range h.bounds {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts:
+// it returns the upper bound of the bucket containing the target rank,
+// capped at the observed max (so a single observation reports itself,
+// and the overflow bucket reports the max rather than +Inf). Returns 0
+// for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	maxv := h.Max()
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if float64(cum) >= rank {
+			if h.bounds[i] > maxv {
+				return maxv
+			}
+			return h.bounds[i]
+		}
+	}
+	// Target rank lives in the overflow bucket: the max is the best bound.
+	return maxv
+}

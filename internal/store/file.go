@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // FileOptions tunes the file backend.
@@ -23,6 +25,10 @@ type FileOptions struct {
 	// FlushDelay is how long the group leader waits for a batch to fill
 	// before syncing anyway (default 500µs; ignored when FsyncBatch ≤ 1).
 	FlushDelay time.Duration
+	// Metrics selects the registry the backend's WAL series
+	// (store_wal_appends_total, store_wal_fsync_total, …) are registered
+	// in (nil = metrics.Default()).
+	Metrics *metrics.Registry
 }
 
 // File is the durable Backend: an append-only WAL per snapshot
@@ -44,8 +50,9 @@ type FileOptions struct {
 // (bounded by FsyncBatch), which is what makes a WAL-backed counter
 // sustain high issuance rates.
 type File struct {
-	dir  string
-	opts FileOptions
+	dir     string
+	opts    FileOptions
+	metrics *fileMetrics
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -82,7 +89,7 @@ func OpenFile(dir string, opts FileOptions) (*File, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
-	f := &File{dir: dir, opts: opts}
+	f := &File{dir: dir, opts: opts, metrics: newFileMetrics(metrics.Or(opts.Metrics))}
 	f.cond = sync.NewCond(&f.mu)
 	gen, err := f.latestGen()
 	if err != nil {
@@ -184,6 +191,7 @@ func syncDir(dir string) error {
 // truncates a torn tail in place, and syncs the result so the recovered
 // log is itself durable.
 func (f *File) Replay() (snapshot []byte, records []Record, err error) {
+	start := time.Now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -208,6 +216,7 @@ func (f *File) Replay() (snapshot []byte, records []Record, err error) {
 		if err := f.wal.Truncate(int64(goodLen)); err != nil {
 			return nil, nil, fmt.Errorf("store: truncate torn WAL tail: %w", err)
 		}
+		f.metrics.tornTails.Inc()
 	}
 	if _, err := f.wal.Seek(int64(goodLen), io.SeekStart); err != nil {
 		return nil, nil, fmt.Errorf("store: seek WAL: %w", err)
@@ -218,6 +227,8 @@ func (f *File) Replay() (snapshot []byte, records []Record, err error) {
 	f.queuedOff = int64(goodLen)
 	f.syncedOff = int64(goodLen)
 	f.replayed = true
+	f.metrics.replayRecords.Add(uint64(len(records)))
+	f.metrics.replaySecs.ObserveDuration(time.Since(start))
 	return snapshot, records, nil
 }
 
@@ -247,6 +258,7 @@ func (f *File) Append(rec Record) error {
 	f.pendingN++
 	f.queuedOff += int64(len(frame))
 	f.seqQueued += int64(len(frame))
+	f.metrics.appends.Inc()
 	// The completion condition uses the monotonic sequence counters, not
 	// the per-WAL offsets: a Snapshot may drain this record into the old
 	// generation and reset the offsets before this goroutine wakes up.
@@ -287,6 +299,7 @@ func (f *File) flushLocked() {
 		f.mu.Lock()
 	}
 	buf := f.pending
+	n := f.pendingN
 	f.pending = nil
 	f.pendingN = 0
 	end := f.queuedOff // all pending flushed ⇒ durable offset catches up
@@ -297,6 +310,11 @@ func (f *File) flushLocked() {
 	if len(buf) > 0 {
 		if _, err = wal.Write(buf); err == nil {
 			err = wal.Sync()
+		}
+		if err == nil {
+			f.metrics.fsyncs.Inc()
+			f.metrics.bytes.Add(uint64(len(buf)))
+			f.metrics.fsyncBatch.Observe(float64(n))
 		}
 	}
 
@@ -317,6 +335,7 @@ func (f *File) flushLocked() {
 // generation, persists blob as snap-<gen+1>.bin, opens wal-<gen+1>.log,
 // and removes the previous generation's files.
 func (f *File) Snapshot(blob []byte) error {
+	start := time.Now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -363,6 +382,7 @@ func (f *File) Snapshot(blob []byte) error {
 	if oldGen > 0 {
 		os.Remove(filepath.Join(f.dir, snapName(oldGen)))
 	}
+	f.metrics.snapshotSecs.ObserveDuration(time.Since(start))
 	return nil
 }
 

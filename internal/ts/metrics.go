@@ -1,0 +1,88 @@
+package ts
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rules"
+)
+
+// Metric names exported by the Token Service. Every series is
+// get-or-create on the service's registry, so several Service instances
+// sharing one registry (e.g. the e2e harness's main and expired
+// frontends) aggregate into the same series; GET /v1/stats remains the
+// per-frontend view and the e2e harness cross-checks the two.
+const (
+	MetricTokensIssued = "ts_tokens_issued_total"
+	MetricTokensDenied = "ts_tokens_denied_total"
+	MetricIssueSeconds = "ts_issue_seconds"
+	MetricBatchSize    = "ts_issue_batch_size"
+	MetricLeaseSpread  = "ts_counter_lease_spread"
+)
+
+// Denial reason label values, in the order the issuance path checks
+// them. "other" is the catch-all, so the reason counters always sum to
+// the denied total.
+var denyReasons = []string{
+	"bad_request", "wrong_contract", "rule_denied", "validator", "counter", "other",
+}
+
+// serviceMetrics holds one Service's pre-resolved metric handles: the
+// hot path increments them without touching the registry.
+type serviceMetrics struct {
+	issued       *metrics.Counter
+	denied       map[string]*metrics.Counter
+	issueSeconds *metrics.Histogram
+	batchSize    *metrics.Histogram
+	leaseSpread  *metrics.Gauge
+}
+
+func newServiceMetrics(reg *metrics.Registry) *serviceMetrics {
+	m := &serviceMetrics{
+		issued: reg.Counter(MetricTokensIssued, "Tokens issued by the Token Service."),
+		denied: make(map[string]*metrics.Counter, len(denyReasons)),
+		issueSeconds: reg.Histogram(MetricIssueSeconds,
+			"Latency of one token issuance (validation, rules, counter, signing).", nil),
+		batchSize: reg.Histogram(MetricBatchSize,
+			"Requests per IssueBatch call.", metrics.DefSizeBuckets),
+		leaseSpread: reg.Gauge(MetricLeaseSpread,
+			"Worst-case one-time index spread of the configured counter (0 = strictly increasing)."),
+	}
+	for _, reason := range denyReasons {
+		m.denied[reason] = reg.Counter(MetricTokensDenied,
+			"Token requests denied, by reason.", metrics.L("reason", reason))
+	}
+	return m
+}
+
+// denyReason classifies an issuance error into its metric label.
+func denyReason(err error) string {
+	switch {
+	case errors.Is(err, core.ErrBadRequest):
+		return "bad_request" // malformed request, bad proof of possession
+	case errors.Is(err, ErrWrongContract):
+		return "wrong_contract"
+	case errors.Is(err, rules.ErrDenied):
+		return "rule_denied"
+	case errors.Is(err, ErrValidatorRejected):
+		return "validator"
+	case errors.Is(err, ErrCounterUnavailable):
+		return "counter"
+	default:
+		return "other"
+	}
+}
+
+// RegistryStats reads the registry-level issuance totals — the sum over
+// every Service sharing reg. The e2e harness cross-checks this against
+// the per-frontend GET /v1/stats counters, keeping the two views honest
+// against each other.
+func RegistryStats(reg *metrics.Registry) (issued, denied uint64) {
+	reg = metrics.Or(reg)
+	issued = reg.Counter(MetricTokensIssued, "").Value()
+	for _, reason := range denyReasons {
+		denied += reg.Counter(MetricTokensDenied, "", metrics.L("reason", reason)).Value()
+	}
+	return issued, denied
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/rules"
 	"repro/internal/secp256k1"
 	"repro/internal/types"
@@ -66,6 +67,9 @@ var (
 	// ErrWrongContract is returned when a request targets a contract this
 	// service does not serve.
 	ErrWrongContract = errors.New("ts: request targets a different contract")
+	// ErrCounterUnavailable wraps a one-time index allocation failure
+	// (e.g. a quorum that cannot form, or a WAL append error).
+	ErrCounterUnavailable = errors.New("ts: one-time index allocation failed")
 )
 
 // Config parameterizes a Token Service.
@@ -91,6 +95,12 @@ type Config struct {
 	// client's signature over core.Request.ProofDigest), so third parties
 	// cannot request tokens in another sender's name.
 	RequireProof bool
+	// Metrics selects the registry the service's instrumentation series
+	// (ts_tokens_issued_total, ts_issue_seconds, …) are registered in
+	// (nil = metrics.Default()). Services sharing a registry aggregate
+	// into the same series; per-instance totals remain available via
+	// Stats.
+	Metrics *metrics.Registry
 }
 
 // Service issues SMACS tokens. The issuance hot path is lock-free: rules
@@ -110,8 +120,12 @@ type Service struct {
 	validators atomic.Pointer[[]Validator]
 	writerMu   sync.Mutex // serializes AddValidator copy-on-write appends
 
+	// issued/rejected are this instance's counts (the GET /v1/stats
+	// view); metrics carries the registry-level series, which aggregate
+	// across every Service sharing the registry.
 	issued   atomic.Uint64
 	rejected atomic.Uint64
+	metrics  *serviceMetrics
 }
 
 // New creates a Token Service from cfg.
@@ -141,6 +155,10 @@ func New(cfg Config) (*Service, error) {
 	}
 	if s.now == nil {
 		s.now = time.Now
+	}
+	s.metrics = newServiceMetrics(metrics.Or(cfg.Metrics))
+	if sp, ok := s.counter.(interface{ MaxSpread() int64 }); ok {
+		s.metrics.leaseSpread.Set(sp.MaxSpread())
 	}
 	return s, nil
 }
@@ -190,11 +208,15 @@ func (s *Service) Stats() (issued, rejected uint64) {
 // every validator approves, returns a freshly signed token (§ IV-B a).
 // Issue is safe for concurrent use and does not serialize on the service.
 func (s *Service) Issue(req *core.Request) (core.Token, error) {
+	start := time.Now()
 	tk, err := s.issue(req)
+	s.metrics.issueSeconds.ObserveDuration(time.Since(start))
 	if err != nil {
 		s.rejected.Add(1)
+		s.metrics.denied[denyReason(err)].Inc()
 	} else {
 		s.issued.Add(1)
+		s.metrics.issued.Inc()
 	}
 	return tk, err
 }
@@ -216,6 +238,7 @@ const maxBatchConcurrency = 32
 // rejected request does not fail the batch; its slot carries the error.
 // This is the amortized path behind tshttp's POST /v1/tokens endpoint.
 func (s *Service) IssueBatch(reqs []*core.Request) []Result {
+	s.metrics.batchSize.Observe(float64(len(reqs)))
 	results := make([]Result, len(reqs))
 	sem := make(chan struct{}, maxBatchConcurrency)
 	var wg sync.WaitGroup
@@ -263,7 +286,7 @@ func (s *Service) issue(req *core.Request) (core.Token, error) {
 	if req.OneTime {
 		n, err := s.counter.Next()
 		if err != nil {
-			return core.Token{}, fmt.Errorf("ts: allocate one-time index: %w", err)
+			return core.Token{}, fmt.Errorf("%w: %v", ErrCounterUnavailable, err)
 		}
 		index = n
 	}

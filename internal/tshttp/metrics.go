@@ -1,0 +1,60 @@
+package tshttp
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// HTTP metric names exported by the Token Service frontend.
+const (
+	MetricRequests = "http_requests_total"
+	MetricLatency  = "http_request_seconds"
+	MetricInFlight = "http_in_flight_requests"
+)
+
+// serverMetrics holds the frontend's instrumentation handles. Latency
+// histograms are pre-resolved per route; the per-status counters are
+// resolved on first use (get-or-create is a short critical section, and
+// a route sees a handful of distinct status codes).
+type serverMetrics struct {
+	reg      *metrics.Registry
+	inFlight *metrics.Gauge
+}
+
+func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg:      reg,
+		inFlight: reg.Gauge(MetricInFlight, "API requests currently being served."),
+	}
+}
+
+// statusRecorder captures the response code a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one API route with request counting, latency
+// observation, and the in-flight gauge.
+func (s *Server) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.reg.Histogram(MetricLatency,
+		"API request latency by route.", nil, metrics.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inFlight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next(rec, r)
+		hist.ObserveDuration(time.Since(start))
+		s.metrics.inFlight.Dec()
+		s.metrics.reg.Counter(MetricRequests, "API requests by route and status code.",
+			metrics.L("route", route), metrics.L("code", strconv.Itoa(rec.status))).Inc()
+	}
+}

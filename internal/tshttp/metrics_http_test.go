@@ -1,0 +1,134 @@
+package tshttp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/secp256k1"
+	"repro/internal/ts"
+	"repro/internal/types"
+)
+
+// newMetricsServer builds a service and frontend sharing one isolated
+// registry, so assertions see exactly this test's traffic.
+func newMetricsServer(t *testing.T, opts ServerOptions) (*httptest.Server, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	opts.Registry = reg
+	svc, err := ts.New(ts.Config{
+		Key:     secp256k1.PrivateKeyFromSeed([]byte("metrics http ts")),
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServerWithOptions(svc, "", opts).Handler())
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// After a batch issue, /metrics must expose the issuance counters and
+// the HTTP route series the scrape itself does not inflate.
+func TestMetricsEndpointAfterBatchIssue(t *testing.T) {
+	srv, _ := newMetricsServer(t, ServerOptions{})
+	client := NewClient(srv.URL, "")
+
+	reqs := []*core.Request{
+		{Type: core.SuperType, Contract: types.Address{0x01}, Sender: types.Address{0xc1}},
+		{Type: core.SuperType, Contract: types.Address{0x01}, Sender: types.Address{0xc2}},
+		{Type: core.SuperType, Contract: types.Address{0x01}, Sender: types.Address{0xc3}},
+	}
+	res, err := client.RequestTokens(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("issue failed: %v", r.Err)
+		}
+	}
+
+	body := scrape(t, srv.URL)
+	for _, re := range []string{
+		`(?m)^ts_tokens_issued_total 3$`,
+		`(?m)^http_requests_total\{route="/v1/tokens",code="200"\} 1$`,
+		`(?m)^http_request_seconds_count\{route="/v1/tokens"\} 1$`,
+		`(?m)^http_in_flight_requests 0$`,
+		`(?m)^ts_issue_batch_size_count 1$`,
+		`(?m)^ts_issue_seconds_count 3$`,
+	} {
+		if !regexp.MustCompile(re).MatchString(body) {
+			t.Errorf("/metrics missing %s\n%s", re, body)
+		}
+	}
+}
+
+// A denied request must land in the reason-labeled denial counter.
+func TestMetricsDenialReason(t *testing.T) {
+	srv, reg := newMetricsServer(t, ServerOptions{})
+	client := NewClient(srv.URL, "")
+	// Malformed: an argument token with no method.
+	_, err := client.RequestToken(&core.Request{
+		Type: core.ArgumentType, Contract: types.Address{0x01}, Sender: types.Address{0xc1},
+	})
+	if err == nil {
+		t.Fatal("malformed request issued")
+	}
+	issued, denied := ts.RegistryStats(reg)
+	if issued != 0 || denied != 1 {
+		t.Errorf("RegistryStats = %d issued, %d denied; want 0, 1", issued, denied)
+	}
+	if !strings.Contains(scrape(t, srv.URL), `ts_tokens_denied_total{reason="bad_request"} 1`) {
+		t.Error("denial not classified as bad_request")
+	}
+}
+
+// pprof must be absent by default and mounted only when opted in.
+func TestPprofOptIn(t *testing.T) {
+	plain, _ := newMetricsServer(t, ServerOptions{})
+	resp, err := http.Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without opt-in = %d, want 404", resp.StatusCode)
+	}
+
+	prof, _ := newMetricsServer(t, ServerOptions{Pprof: true})
+	resp, err = http.Get(prof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index with opt-in = %d", resp.StatusCode)
+	}
+}

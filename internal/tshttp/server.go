@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/rules"
 	"repro/internal/ts"
 )
@@ -24,26 +26,62 @@ import (
 //	GET  /v1/rules   — current ACRs (owner only: rules stay private)
 //	PUT  /v1/rules   — replace the ACRs (owner only)
 //	GET  /healthz    — liveness
+//	GET  /metrics    — Prometheus text exposition of the server's registry
+//	GET  /debug/pprof/* — runtime profiles (only with ServerOptions.Pprof)
+//
+// Every API route is instrumented: http_requests_total{route,code},
+// http_request_seconds{route}, and an http_in_flight_requests gauge.
 type Server struct {
 	svc        *ts.Service
 	ownerToken string
 	mux        *http.ServeMux
+	metrics    *serverMetrics
 }
 
-// NewServer wraps svc. ownerToken is the bearer secret required by the
-// rule-administration endpoints; an empty token disables them entirely
-// (fail closed).
+// ServerOptions tunes the HTTP frontend's observability surface.
+type ServerOptions struct {
+	// Registry is where the server's HTTP series live and what GET
+	// /metrics renders (nil = metrics.Default()). Pass the same registry
+	// the wrapped ts.Service was configured with so one scrape covers
+	// issuance and transport.
+	Registry *metrics.Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose internals (goroutine stacks, heap contents) that do
+	// not belong on an open listener.
+	Pprof bool
+}
+
+// NewServer wraps svc with default options. ownerToken is the bearer
+// secret required by the rule-administration endpoints; an empty token
+// disables them entirely (fail closed).
 func NewServer(svc *ts.Service, ownerToken string) *Server {
-	s := &Server{svc: svc, ownerToken: ownerToken, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/token", s.handleToken)
-	s.mux.HandleFunc("POST /v1/tokens", s.handleTokenBatch)
-	s.mux.HandleFunc("GET /v1/info", s.handleInfo)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/rules", s.ownerOnly(s.handleGetRules))
-	s.mux.HandleFunc("PUT /v1/rules", s.ownerOnly(s.handlePutRules))
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	return NewServerWithOptions(svc, ownerToken, ServerOptions{})
+}
+
+// NewServerWithOptions wraps svc with explicit observability options.
+func NewServerWithOptions(svc *ts.Service, ownerToken string, opts ServerOptions) *Server {
+	reg := metrics.Or(opts.Registry)
+	s := &Server{svc: svc, ownerToken: ownerToken, mux: http.NewServeMux(), metrics: newServerMetrics(reg)}
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(route, h))
+	}
+	handle("POST /v1/token", "/v1/token", s.handleToken)
+	handle("POST /v1/tokens", "/v1/tokens", s.handleTokenBatch)
+	handle("GET /v1/info", "/v1/info", s.handleInfo)
+	handle("GET /v1/stats", "/v1/stats", s.handleStats)
+	handle("GET /v1/rules", "/v1/rules", s.ownerOnly(s.handleGetRules))
+	handle("PUT /v1/rules", "/v1/rules", s.ownerOnly(s.handlePutRules))
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.Handle("GET /metrics", reg.Handler())
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
