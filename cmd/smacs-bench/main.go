@@ -23,6 +23,9 @@
 //	smacs-bench -mode e2e -scenario durable -smoke       # crash + WAL recovery mid-run
 //	smacs-bench -mode e2e -smoke -envelope out/e2e-envelope.json   # CI gate
 //	smacs-bench -mode e2e -smoke -trace out/trace.json   # sampled stage traces
+//	smacs-bench -mode shard      # sharded-issuance scaling over replica groups
+//	smacs-bench -mode shard -groups 1,2,4 -clients 16 -ops 60 -rtt 10ms \
+//	    -csv out/shard.csv
 //
 // Every sweep mode also writes a git-SHA-stamped trajectory artifact
 // (out/BENCH_<mode>.json by default; see -bench-json) so CI can archive
@@ -64,15 +67,19 @@ func main() {
 		quick    = flag.Bool("quick", false, "smaller workloads (Fig. 9 to 10^3, baseline to 1000)")
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of the paper-layout tables")
 
-		mode     = flag.String("mode", "", `"load" runs the concurrent-issuance load generator; "chain" runs the guarded-tx verification-pipeline sweep; "e2e" runs the end-to-end scenario harness`)
+		mode     = flag.String("mode", "", `"load" runs the concurrent-issuance load generator; "chain" runs the guarded-tx verification-pipeline sweep; "e2e" runs the end-to-end scenario harness; "shard" runs the sharded-issuance scaling sweep over replica-group counts`)
 		workers  = flag.String("workers", "1,2,4,8", "load/chain: comma-separated worker counts to sweep")
 		duration = flag.Duration("duration", 2*time.Second, "load: measured interval per cell")
 		warmup   = flag.Duration("warmup", 250*time.Millisecond, "load: unmeasured warmup per cell")
 		onetime  = flag.Bool("onetime", true, "load: request one-time tokens (exercises the counter)")
-		rtt      = flag.Duration("rtt", time.Millisecond, "load: modeled quorum round-trip per index allocation (0 = in-process counter)")
+		rtt      = flag.Duration("rtt", time.Millisecond, "load: modeled quorum round-trip per index allocation (0 = in-process counter); shard: delay injected per replica hop (try 10ms)")
 		batch    = flag.Int("batch", 32, "load: requests per IssueBatch call; chain: txs per ApplyBatch call")
 		modes    = flag.String("modes", "", "load: comma-separated subset of locked,atomic,sharded,batch")
-		csvPath  = flag.String("csv", "", "load/chain: also write the sweep as CSV to this path")
+		csvPath  = flag.String("csv", "", "load/chain/shard: also write the sweep as CSV to this path")
+
+		groups  = flag.String("groups", "1,2,4", "shard: comma-separated replica-group counts to sweep")
+		clients = flag.Int("clients", 16, "shard: concurrent wallet clients, routed to groups by the consistent-hash ring")
+		ops     = flag.Int("ops", 60, "shard: one-time tokens per client")
 
 		txs        = flag.Int("txs", 192, "chain: guarded transactions per cell")
 		senders    = flag.Int("senders", 16, "chain: distinct client accounts")
@@ -87,7 +94,7 @@ func main() {
 		dirPath    = flag.String("dir", "", "load/e2e: directory for file-backed WALs and snapshots (empty: a temp dir)")
 		fsyncBatch = flag.Int("fsync-batch", 0, "load/e2e: appends coalesced per fsync in file-backed stores (0: store default)")
 
-		benchJSON = flag.String("bench-json", "auto", `load/chain/e2e: write the sweep as a git-SHA-stamped trajectory artifact ("auto": out/BENCH_<mode>.json, "": disabled, else an explicit path)`)
+		benchJSON = flag.String("bench-json", "auto", `sweep modes: write the sweep as a git-SHA-stamped trajectory artifact ("auto": out/BENCH_<mode>.json, "": disabled, else an explicit path)`)
 		tracePath = flag.String("trace", "", "e2e: write sampled per-operation stage traces (token round-trip → batch → commit) as JSON to this path")
 	)
 	flag.Parse()
@@ -122,6 +129,8 @@ func main() {
 		case "e2e":
 			err = runE2E(*scenario, *smoke, *envelopePath, *writeEnvelope,
 				*dirPath, *fsyncBatch, *csvPath, benchPath, *tracePath, *asJSON, flusher)
+		case "shard":
+			err = runShard(*groups, *clients, *ops, *batch, *rtt, *csvPath, benchPath, *asJSON, flusher)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smacs-bench:", err)
@@ -146,9 +155,9 @@ func main() {
 // silently discarding minutes of completed sweep cells.
 func validateSelection(mode, scenario, modes, chainModes string, smoke bool, envelopePath, writeEnvelope, storeKind, dirPath string, fsyncBatch int, benchJSON, tracePath string) error {
 	switch mode {
-	case "", "load", "chain", "e2e":
+	case "", "load", "chain", "e2e", "shard":
 	default:
-		return fmt.Errorf("unknown -mode %q (supported: load, chain, e2e)", mode)
+		return fmt.Errorf("unknown -mode %q (supported: load, chain, e2e, shard)", mode)
 	}
 	switch storeKind {
 	case "mem", "file":
@@ -223,21 +232,25 @@ func validateSelection(mode, scenario, modes, chainModes string, smoke bool, env
 	// "auto" is the default and silently degrades to "no artifact" for the
 	// paper tables; an explicit path outside the sweep modes is a mistake.
 	if benchJSON != "" && benchJSON != "auto" && mode == "" {
-		return fmt.Errorf("-bench-json requires -mode load, chain, or e2e")
+		return fmt.Errorf("-bench-json requires -mode load, chain, e2e, or shard")
 	}
 	return nil
 }
 
 func parseWorkers(workers string) ([]int, error) {
+	return parseInts("-workers", workers)
+}
+
+func parseInts(flagName, list string) ([]int, error) {
 	var out []int
-	for _, part := range strings.Split(workers, ",") {
+	for _, part := range strings.Split(list, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil {
-			return nil, fmt.Errorf("bad -workers entry %q: %w", part, err)
+			return nil, fmt.Errorf("bad %s entry %q: %w", flagName, part, err)
 		}
 		out = append(out, n)
 	}
@@ -369,6 +382,36 @@ func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt t
 		return err
 	}
 	return writeBenchArtifact(benchPath, "load", res)
+}
+
+// runShard drives the sharded-issuance scaling sweep: for each group
+// count G, the one-time token keyspace is split by the consistent-hash
+// ring across G independent 3-replica quorum groups (each replica behind
+// a -rtt delay proxy), and tokens/s must rise with G.
+func runShard(groups string, clients, ops, batch int, rtt time.Duration, csvPath, benchPath string, asJSON bool, flusher *partialFlusher) error {
+	cfg := bench.ShardConfig{
+		Clients:    clients,
+		Ops:        ops,
+		TokenBatch: batch,
+		RTT:        rtt,
+	}
+	var err error
+	if cfg.Groups, err = parseInts("-groups", groups); err != nil {
+		return err
+	}
+	var rows []bench.ShardRow
+	cfg.OnRow = func(r bench.ShardRow) {
+		rows = append(rows, r)
+		flusher.set(&bench.ShardResult{Config: cfg, Rows: append([]bench.ShardRow(nil), rows...)})
+	}
+	res, err := bench.Shard(cfg)
+	if err != nil {
+		return err
+	}
+	if err := emitSweep(res, csvPath, asJSON); err != nil {
+		return err
+	}
+	return writeBenchArtifact(benchPath, "shard", res)
 }
 
 // runE2E drives the end-to-end scenario harness and, when asked, writes

@@ -158,6 +158,7 @@ func TestValidateSelection(t *testing.T) {
 		{name: "e2e defaults", mode: "e2e"},
 		{name: "e2e all", mode: "e2e", scenario: "all", smoke: true},
 		{name: "e2e subset", mode: "e2e", scenario: "adversarial,mixed", smoke: true, envelope: "out/e2e-envelope.json"},
+		{name: "shard defaults", mode: "shard"},
 
 		{name: "unknown mode", mode: "warp", wantErr: `unknown -mode "warp"`},
 		{name: "unknown scenario", mode: "e2e", scenario: "bogus", wantErr: `unknown -scenario entry "bogus"`},
@@ -184,6 +185,7 @@ func TestValidateSelection(t *testing.T) {
 		{name: "bench-json auto in paper mode", mode: ""}, // default degrades silently
 		{name: "explicit bench-json", mode: "chain", benchJSON: "out/BENCH_chain.json"},
 		{name: "bench-json outside sweep modes", mode: "", benchJSON: "x.json", wantErr: "-bench-json requires -mode"},
+		{name: "smoke outside e2e (shard)", mode: "shard", smoke: true, wantErr: "-smoke requires -mode e2e"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -15,6 +15,27 @@
 //
 //	smacs-ts -store file -dir /var/lib/smacs-ts -fsync-batch 16
 //
+// Distributed deployment: the counter can be replicated across
+// processes. Replicas serve the lease-based quorum protocol
+// (internal/ts/replica/net); frontends allocate index blocks through a
+// majority of them, so any single replica can crash, partition, or lag
+// without stopping issuance — and a majority's WALs are enough to
+// recover, never re-issuing an index:
+//
+//	smacs-ts -replica-of sale -addr :9001 -store file -dir /var/lib/r1
+//	smacs-ts -replica-of sale -addr :9002 -store file -dir /var/lib/r2
+//	smacs-ts -replica-of sale -addr :9003 -store file -dir /var/lib/r3
+//	smacs-ts -addr :8546 -peers http://h1:9001,http://h2:9002,http://h3:9003
+//
+// Several frontends can share one keyspace without coordinating:
+// -group i/n stripes the quorum-allocated blocks so frontend i of n
+// issues indexes disjoint from every other frontend's (consistent-hash
+// routing of wallets to frontends lives client-side; see
+// internal/ts/ring):
+//
+//	smacs-ts -addr :8546 -peers ... -group 0/2
+//	smacs-ts -addr :8547 -peers ... -group 1/2
+//
 // Observability: GET /metrics on the main listener renders the process
 // registry (issuance counters, HTTP latency histograms, WAL series) in
 // Prometheus text format. -metrics-addr moves the scrape endpoint to a
@@ -41,6 +62,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/metrics"
@@ -48,6 +70,8 @@ import (
 	"repro/internal/secp256k1"
 	"repro/internal/store"
 	"repro/internal/ts"
+	replicanet "repro/internal/ts/replica/net"
+	"repro/internal/ts/ring"
 	"repro/internal/tshttp"
 )
 
@@ -64,25 +88,36 @@ func main() {
 		fsyncBatch = flag.Int("fsync-batch", 0, "-store file: appends coalesced per fsync (0: store default)")
 		shards     = flag.Int("shards", runtime.GOMAXPROCS(0), "index counter shards (concurrent issuance lanes)")
 
+		replicaOf = flag.String("replica-of", "", "run as a counter replica for the named group: serve the quorum protocol (fence/grant/state) on -addr instead of the token API")
+		peers     = flag.String("peers", "", "comma-separated replica base URLs (odd count): allocate one-time index blocks through a majority quorum of them instead of locally")
+		group     = flag.String("group", "", `"i/n": this frontend is shard i of n sharing the replica group — its blocks are striped so all n issue globally unique indexes with no coordination (requires -peers)`)
+
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics on this separate listener (empty: the main listener's /metrics)")
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/* on the metrics listener (or the main one without -metrics-addr)")
 	)
 	flag.Parse()
-	if err := validateFlags(*addr, *metricsAddr, *shards, *fsyncBatch); err != nil {
+	if err := validateFlags(*addr, *metricsAddr, *shards, *fsyncBatch, *replicaOf, *peers, *group); err != nil {
 		fmt.Fprintln(os.Stderr, "smacs-ts:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *keySeed, *rulesPath, *ownerToken, *lifetime, *needProof, *storeKind, *dirPath, *fsyncBatch, *shards, *metricsAddr, *pprofOn); err != nil {
+	var err error
+	if *replicaOf != "" {
+		err = runReplica(*addr, *replicaOf, *storeKind, *dirPath, *fsyncBatch)
+	} else {
+		err = run(*addr, *keySeed, *rulesPath, *ownerToken, *lifetime, *needProof, *storeKind, *dirPath, *fsyncBatch, *shards, *peers, *group, *metricsAddr, *pprofOn)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "smacs-ts:", err)
 		os.Exit(1)
 	}
 }
 
-// validateFlags rejects inconsistent observability and sizing flags up
-// front, so a typo exits with a usage message instead of a half-started
-// daemon (the -store/-dir combinations are validated by openCounter).
-func validateFlags(addr, metricsAddr string, shards, fsyncBatch int) error {
+// validateFlags rejects inconsistent observability, sizing, and
+// replication flags up front, so a typo exits with a usage message
+// instead of a half-started daemon (the -store/-dir combinations are
+// validated by openCounter).
+func validateFlags(addr, metricsAddr string, shards, fsyncBatch int, replicaOf, peers, group string) error {
 	if metricsAddr != "" && metricsAddr == addr {
 		return fmt.Errorf("-metrics-addr %q collides with -addr: the main listener already serves /metrics", metricsAddr)
 	}
@@ -92,7 +127,51 @@ func validateFlags(addr, metricsAddr string, shards, fsyncBatch int) error {
 	if fsyncBatch < 0 {
 		return fmt.Errorf("-fsync-batch must be ≥ 0, got %d", fsyncBatch)
 	}
+	if replicaOf != "" {
+		if peers != "" || group != "" {
+			return fmt.Errorf("-replica-of runs the quorum protocol server; -peers and -group belong on frontends")
+		}
+		if metricsAddr != "" {
+			return fmt.Errorf("-metrics-addr is not served in replica mode")
+		}
+		return nil
+	}
+	if peers != "" {
+		if n := len(splitList(peers)); n%2 == 0 {
+			return fmt.Errorf("-peers needs an odd replica count for majority quorums, got %d", n)
+		}
+	}
+	if group != "" {
+		if peers == "" {
+			return fmt.Errorf("-group stripes quorum-allocated blocks and requires -peers")
+		}
+		if _, _, err := parseGroup(group); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseGroup parses the "-group i/n" shard position.
+func parseGroup(s string) (index, count int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &index, &count); err != nil {
+		return 0, 0, fmt.Errorf(`-group must look like "i/n" (e.g. 0/2), got %q`, s)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("-group %q out of range: need 0 ≤ i < n", s)
+	}
+	return index, count, nil
 }
 
 // counterBlockSize is how many one-time indexes each shard leases per
@@ -103,8 +182,31 @@ const counterBlockSize = 64
 // openCounter builds the service's one-time index counter. "mem" keeps
 // the default in-memory counter (restart forgets the high-water mark —
 // only safe when contracts' bitmaps are re-deployed too); "file" journals
-// every block lease so a restarted service never re-issues an index.
-func openCounter(storeKind, dirPath string, fsyncBatch, shards int) (ts.Counter, error) {
+// every block lease so a restarted service never re-issues an index;
+// -peers allocates blocks through a majority quorum of counter replicas
+// (durability then lives on the replicas' WALs, not this process),
+// optionally striped by -group so several frontends share the keyspace.
+func openCounter(storeKind, dirPath string, fsyncBatch, shards int, peers, group string) (ts.Counter, error) {
+	if peers != "" {
+		if storeKind != "mem" || dirPath != "" || fsyncBatch != 0 {
+			return nil, fmt.Errorf("-peers moves counter durability to the replicas; drop -store file/-dir/-fsync-batch")
+		}
+		coord, err := replicanet.NewCoordinator(splitList(peers), replicanet.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var underlying ts.Counter = coord
+		if group != "" {
+			index, count, err := parseGroup(group)
+			if err != nil {
+				return nil, err
+			}
+			if underlying, err = ring.NewStripe(coord, index, count); err != nil {
+				return nil, err
+			}
+		}
+		return ts.NewShardedCounter(underlying, shards, counterBlockSize)
+	}
 	switch storeKind {
 	case "mem":
 		if dirPath != "" || fsyncBatch != 0 {
@@ -140,7 +242,49 @@ func openCounter(storeKind, dirPath string, fsyncBatch, shards int) (ts.Counter,
 	}
 }
 
-func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, needProof bool, storeKind, dirPath string, fsyncBatch, shards int, metricsAddr string, pprofOn bool) error {
+// runReplica serves the counter quorum protocol on addr: POST
+// /v1/replica/{fence,grant} and GET /v1/replica/state, journaling every
+// promise and grant before acking so a majority of surviving WALs always
+// covers every committed lease. groupName is the label frontends know
+// the replica group by; it appears only in the banner.
+func runReplica(addr, groupName, storeKind, dirPath string, fsyncBatch int) error {
+	var node *replicanet.Node
+	switch storeKind {
+	case "mem":
+		if dirPath != "" || fsyncBatch != 0 {
+			return fmt.Errorf("-dir and -fsync-batch require -store file")
+		}
+		node = replicanet.NewNode()
+	case "file":
+		if dirPath == "" {
+			return fmt.Errorf("-store file requires -dir")
+		}
+		if err := os.MkdirAll(dirPath, 0o755); err != nil {
+			return err
+		}
+		f, err := store.OpenFile(dirPath, store.FileOptions{FsyncBatch: fsyncBatch})
+		if err != nil {
+			return err
+		}
+		if node, err = replicanet.OpenNode(f); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -store %q (supported: mem, file)", storeKind)
+	}
+	accepted, promised := node.State()
+	fmt.Printf("SMACS Token Service counter replica (group %q)\n", groupName)
+	if storeKind == "file" {
+		fmt.Printf("  state:       durable (WAL in %s); accepted lease %d, promised epoch %d\n", dirPath, accepted, promised)
+	} else {
+		fmt.Printf("  state:       in-memory — a restart forgets promises; use -store file outside tests\n")
+	}
+	fmt.Printf("  listening:   %s (POST /v1/replica/{fence,grant}, GET /v1/replica/state)\n", addr)
+	srv := &http.Server{Addr: addr, Handler: node.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}
+
+func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, needProof bool, storeKind, dirPath string, fsyncBatch, shards int, peers, group, metricsAddr string, pprofOn bool) error {
 	var key *secp256k1.PrivateKey
 	if keySeed != "" {
 		key = secp256k1.PrivateKeyFromSeed([]byte(keySeed))
@@ -163,7 +307,7 @@ func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, ne
 		}
 	}
 
-	counter, err := openCounter(storeKind, dirPath, fsyncBatch, shards)
+	counter, err := openCounter(storeKind, dirPath, fsyncBatch, shards, peers, group)
 	if err != nil {
 		return err
 	}
@@ -193,9 +337,16 @@ func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, ne
 	fmt.Printf("SMACS Token Service\n")
 	fmt.Printf("  signing address: %s  (preload this into your contracts' verifier)\n", svc.Address())
 	fmt.Printf("  token lifetime:  %s\n", lifetime)
-	if storeKind == "file" {
+	switch {
+	case peers != "":
+		fmt.Printf("  index counter:   replicated (quorum of %d peers, %d shards", len(splitList(peers)), shards)
+		if group != "" {
+			fmt.Printf(", shard %s of the keyspace", group)
+		}
+		fmt.Printf(")\n")
+	case storeKind == "file":
 		fmt.Printf("  index counter:   durable (WAL in %s, %d shards)\n", dirPath, shards)
-	} else {
+	default:
 		fmt.Printf("  index counter:   in-memory (%d shards; restart forgets the high-water mark)\n", shards)
 	}
 	fmt.Printf("  listening on:    %s\n", addr)

@@ -3,13 +3,15 @@ package main
 import (
 	"net/http/httptest"
 	"testing"
+
+	replicanet "repro/internal/ts/replica/net"
 )
 
 // A file-backed counter must resume strictly above every index a previous
 // incarnation issued — the CLI-level view of the store.Counter contract.
 func TestOpenCounterFileResumesAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
-	c1, err := openCounter("file", dir, 4, 2)
+	c1, err := openCounter("file", dir, 4, 2, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +24,7 @@ func TestOpenCounterFileResumesAcrossRestart(t *testing.T) {
 		issued[idx] = true
 	}
 	// Restart: the old handle is abandoned (no Close), like a crash.
-	c2, err := openCounter("file", dir, 4, 2)
+	c2, err := openCounter("file", dir, 4, 2, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,37 +40,117 @@ func TestOpenCounterFileResumesAcrossRestart(t *testing.T) {
 }
 
 func TestOpenCounterRejectsBadFlags(t *testing.T) {
-	if _, err := openCounter("file", "", 0, 1); err == nil {
+	if _, err := openCounter("file", "", 0, 1, "", ""); err == nil {
 		t.Error("file store without -dir accepted")
 	}
-	if _, err := openCounter("mem", "/tmp/x", 0, 1); err == nil {
+	if _, err := openCounter("mem", "/tmp/x", 0, 1, "", ""); err == nil {
 		t.Error("-dir without file store accepted")
 	}
-	if _, err := openCounter("mem", "", 8, 1); err == nil {
+	if _, err := openCounter("mem", "", 8, 1, "", ""); err == nil {
 		t.Error("-fsync-batch without file store accepted")
 	}
-	if _, err := openCounter("tape", "", 0, 1); err == nil {
+	if _, err := openCounter("tape", "", 0, 1, "", ""); err == nil {
 		t.Error("unknown store accepted")
+	}
+	if _, err := openCounter("file", "/tmp/x", 0, 1, "http://a,http://b,http://c", ""); err == nil {
+		t.Error("-peers with a local file store accepted: durability would be claimed twice")
+	}
+	if _, err := openCounter("mem", "", 0, 1, "http://a,http://b", ""); err == nil {
+		t.Error("even peer count accepted")
+	}
+}
+
+// A frontend with -peers allocates through the networked quorum, and
+// -group striping keeps two frontends' indexes disjoint with no
+// coordination between them — the CLI-level view of ring.Stripe over
+// replicanet.Coordinator.
+func TestOpenCounterNetworkedStripedFrontends(t *testing.T) {
+	urls := ""
+	for i := 0; i < 3; i++ {
+		srv, err := replicanet.Serve(replicanet.NewNode(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		if i > 0 {
+			urls += ","
+		}
+		urls += srv.URL()
+	}
+	seen := make(map[int64]string)
+	for _, g := range []string{"0/2", "1/2"} {
+		c, err := openCounter("mem", "", 0, 2, urls, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3*counterBlockSize; i++ {
+			idx, err := c.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if other, dup := seen[idx]; dup {
+				t.Fatalf("index %d issued by both frontend %s and %s", idx, other, g)
+			}
+			seen[idx] = g
+		}
 	}
 }
 
 // Bad observability/sizing flag combinations must be rejected before the
 // daemon does any work (main exits 2 with usage on these).
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(":8546", "", 4, 0); err != nil {
+	if err := validateFlags(":8546", "", 4, 0, "", "", ""); err != nil {
 		t.Errorf("default flags rejected: %v", err)
 	}
-	if err := validateFlags(":8546", "127.0.0.1:9100", 4, 16); err != nil {
+	if err := validateFlags(":8546", "127.0.0.1:9100", 4, 16, "", "", ""); err != nil {
 		t.Errorf("separate metrics listener rejected: %v", err)
 	}
-	if err := validateFlags(":8546", ":8546", 4, 0); err == nil {
+	if err := validateFlags(":8546", ":8546", 4, 0, "", "", ""); err == nil {
 		t.Error("-metrics-addr colliding with -addr accepted")
 	}
-	if err := validateFlags(":8546", "", 0, 0); err == nil {
+	if err := validateFlags(":8546", "", 0, 0, "", "", ""); err == nil {
 		t.Error("-shards 0 accepted")
 	}
-	if err := validateFlags(":8546", "", 4, -1); err == nil {
+	if err := validateFlags(":8546", "", 4, -1, "", "", ""); err == nil {
 		t.Error("negative -fsync-batch accepted")
+	}
+
+	peers3 := "http://a:1,http://b:2,http://c:3"
+	if err := validateFlags(":9001", "", 4, 0, "sale", "", ""); err != nil {
+		t.Errorf("replica mode rejected: %v", err)
+	}
+	if err := validateFlags(":9001", "", 4, 0, "sale", peers3, ""); err == nil {
+		t.Error("-replica-of combined with -peers accepted")
+	}
+	if err := validateFlags(":9001", "127.0.0.1:9100", 4, 0, "sale", "", ""); err == nil {
+		t.Error("-metrics-addr in replica mode accepted")
+	}
+	if err := validateFlags(":8546", "", 4, 0, "", peers3, "1/2"); err != nil {
+		t.Errorf("quorum frontend flags rejected: %v", err)
+	}
+	if err := validateFlags(":8546", "", 4, 0, "", "http://a:1,http://b:2", ""); err == nil {
+		t.Error("even -peers count accepted")
+	}
+	if err := validateFlags(":8546", "", 4, 0, "", "", "0/2"); err == nil {
+		t.Error("-group without -peers accepted")
+	}
+	for _, bad := range []string{"2/2", "-1/2", "0/0", "x/y", "1"} {
+		if err := validateFlags(":8546", "", 4, 0, "", peers3, bad); err == nil {
+			t.Errorf("-group %q accepted", bad)
+		}
+	}
+}
+
+// runReplica's store validation must fail before it ever binds a port.
+func TestRunReplicaRejectsBadStores(t *testing.T) {
+	if err := runReplica(":0", "g", "file", "", 0); err == nil {
+		t.Error("file-backed replica without -dir accepted")
+	}
+	if err := runReplica(":0", "g", "mem", "/tmp/x", 0); err == nil {
+		t.Error("-dir without file store accepted")
+	}
+	if err := runReplica(":0", "g", "tape", "", 0); err == nil {
+		t.Error("unknown store accepted")
 	}
 }
 

@@ -43,6 +43,11 @@ type E2EConfig struct {
 	// (token-acquisition round-trip, submit-to-commit) keyed by
 	// "<scenario>/<sender>#<op>"; smacs-bench -trace dumps it as JSON.
 	Tracer *metrics.Tracer `json:"-"`
+	// ChaosSeed varies the fault timing of chaos scenarios: the victim
+	// replica and the inject/heal progress thresholds derive from it, so
+	// CI can sweep timings while any single run stays reproducible. The
+	// correctness counts must be seed-independent — that is the point.
+	ChaosSeed int64 `json:"chaosSeed,omitempty"`
 }
 
 // E2ECounts are the correctness counts of one scenario run. Every field is
@@ -66,6 +71,12 @@ type E2ECounts struct {
 	TxSubmitted int `json:"txSubmitted"`
 	TxAccepted  int `json:"txAccepted"`
 	TxRejected  int `json:"txRejected"`
+	// DupOneTimeIndexes counts one-time counter indexes observed on more
+	// than one issued token across the whole run — every incarnation,
+	// every frontend. It must be zero: a duplicate means the replicated
+	// counter handed the same index out twice, the exact double-spend
+	// window the quorum protocol exists to close.
+	DupOneTimeIndexes int `json:"dupOneTimeIndexes"`
 	// ReadsOK / ReadsFailed tally token-guarded static calls.
 	ReadsOK     int `json:"readsOK"`
 	ReadsFailed int `json:"readsFailed"`
@@ -112,6 +123,11 @@ type E2ERow struct {
 	// "http_tokens" (POST /v1/tokens service time), "prevalidate" and
 	// "commit" (ApplyBatch phases, per batch), "e2e" (per operation).
 	Stages map[string]StageLatency `json:"stages,omitempty"`
+	// ChaosFaultInjected reports that the scenario's replica fault
+	// actually fired (chaos scenarios only) — a guard against a run so
+	// fast the fault scheduler never got to act, which would make the
+	// pinned counts vacuous.
+	ChaosFaultInjected bool `json:"chaosFaultInjected,omitempty"`
 	// SenderCacheHitRate / TokenCacheHitRate are the process-wide
 	// recovery caches' hit fractions over this scenario's traffic
 	// (measured as before/after deltas; 0 when the scenario made no
@@ -187,6 +203,11 @@ type e2eAgg struct {
 	mu     sync.Mutex
 	counts E2ECounts
 	opLat  *metrics.Histogram
+	// oneTime tracks every one-time counter index seen on an issued
+	// token; a repeat increments DupOneTimeIndexes. The map lives on the
+	// aggregate (not the env) so it spans every frontend and — for the
+	// durable and chaos scenarios — every incarnation of the service.
+	oneTime map[int64]bool
 }
 
 // e2eOpSeconds is the end-to-end operation latency series of the
@@ -194,16 +215,41 @@ type e2eAgg struct {
 const e2eOpSeconds = "e2e_op_seconds"
 
 func newE2EAgg(reg *metrics.Registry) *e2eAgg {
-	return &e2eAgg{opLat: reg.Histogram(e2eOpSeconds,
-		"End-to-end operation latency: token acquisition through commit.", nil)}
+	return &e2eAgg{
+		opLat: reg.Histogram(e2eOpSeconds,
+			"End-to-end operation latency: token acquisition through commit.", nil),
+		oneTime: make(map[int64]bool),
+	}
 }
 
-func (a *e2eAgg) addTokens(requests, issued, denied int) {
+// addResults tallies one batch round-trip's outcomes and audits the
+// one-time indexes of the issued tokens for duplicates.
+func (a *e2eAgg) addResults(requests int, res []ts.Result) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.counts.TokenRequests += requests
-	a.counts.TokensIssued += issued
-	a.counts.TokensDenied += denied
+	for _, r := range res {
+		if r.Err != nil {
+			a.counts.TokensDenied++
+			continue
+		}
+		a.counts.TokensIssued++
+		if !r.Token.OneTime() {
+			continue
+		}
+		if a.oneTime[r.Token.Index] {
+			a.counts.DupOneTimeIndexes++
+		}
+		a.oneTime[r.Token.Index] = true
+	}
+}
+
+// tokenRequests reads the request-slot count so far; the chaos fault
+// scheduler polls it to find the middle of the rush.
+func (a *e2eAgg) tokenRequests() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.counts.TokenRequests
 }
 
 func (a *e2eAgg) recordRead(start time.Time, ok bool) {
@@ -350,9 +396,21 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 	ruleSet.SetSenderList(allowed)
 
 	// One-time index counter: sharded, optionally backed by a 3-replica
-	// quorum cluster (§ VII-B).
+	// quorum — in-process (§ VII-B) or, for chaos scenarios, networked
+	// replica processes behind fault-injecting proxies.
 	var underlying ts.Counter
-	if cfg.ReplicatedCounter {
+	var chaos *chaosGroup
+	if cfg.Chaos != "" {
+		if cfg.ReplicatedCounter || cfg.Durable {
+			return E2ERow{}, fmt.Errorf("chaos scenarios bring their own counter backend")
+		}
+		g, err := startChaosGroup(cfg, run)
+		if err != nil {
+			return E2ERow{}, err
+		}
+		defer g.Close()
+		chaos, underlying = g, g.coord
+	} else if cfg.ReplicatedCounter {
 		cluster, err := replica.NewCluster(3)
 		if err != nil {
 			return E2ERow{}, err
@@ -480,6 +538,17 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 	// parallel pool outside the chain mutex.
 	subDone := env.startSubmitter(tsKey.Address())
 
+	// The chaos fault scheduler watches the aggregate's progress and
+	// fires/heals the fault mid-rush; it stops (healing if necessary)
+	// before the group's deferred Close. The explicit call after the
+	// producers finish collects whether the fault fired; the deferred
+	// one only covers error returns (stop is idempotent).
+	var stopFault func() bool
+	if chaos != nil {
+		stopFault = chaos.scheduleFault(cfg, run.ChaosSeed, env.agg)
+		defer stopFault()
+	}
+
 	// Producers: honest clients, denied clients, and the attacker wallets
 	// all run concurrently against the live HTTP service.
 	start := time.Now()
@@ -515,6 +584,10 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 	close(env.sub)
 	<-subDone
 	elapsed := time.Since(start)
+	faultInjected := false
+	if stopFault != nil {
+		faultInjected = stopFault()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return E2ERow{}, err
@@ -537,9 +610,11 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 		return E2ERow{}, err
 	}
 
-	return finishRow(cfg, env.agg, elapsed, reg,
+	row := finishRow(cfg, env.agg, elapsed, reg,
 		cacheRate(senderH0, senderM0, evm.SenderCacheStats),
-		cacheRate(tokenH0, tokenM0, core.TokenSigCacheStats)), nil
+		cacheRate(tokenH0, tokenM0, core.TokenSigCacheStats))
+	row.ChaosFaultInjected = faultInjected
+	return row, nil
 }
 
 // checkRegistryStats asserts that the registry-level issuance counters
@@ -715,15 +790,7 @@ func (e *e2eEnv) fetchTokens(cl *tshttp.Client, key *secp256k1.PrivateKey, reqs 
 	if err != nil {
 		return nil, err
 	}
-	issued, deniedN := 0, 0
-	for _, r := range res {
-		if r.Err != nil {
-			deniedN++
-		} else {
-			issued++
-		}
-	}
-	e.agg.addTokens(len(reqs), issued, deniedN)
+	e.agg.addResults(len(reqs), res)
 	return res, nil
 }
 
@@ -962,6 +1029,9 @@ func (r *E2EResult) Format() string {
 			fmt.Fprintf(&b, ", attacks rejected %d tampered / %d replayed / %d expired, %d accepted",
 				c.RejTampered, c.RejReplayed, c.RejExpired, c.AdvAccepted)
 		}
+		if c.DupOneTimeIndexes > 0 {
+			fmt.Fprintf(&b, ", %d DUPLICATE one-time indexes", c.DupOneTimeIndexes)
+		}
 		b.WriteString("\n")
 	}
 	return b.String()
@@ -973,15 +1043,15 @@ func (r *E2EResult) CSV() string {
 	b.WriteString("scenario,clients,ops_per_client,seconds,tokens_per_sec,tx_per_sec,p50_ms,p95_ms,p99_ms," +
 		"token_requests,tokens_issued,tokens_denied,ts_issued,ts_rejected," +
 		"tx_submitted,tx_accepted,tx_rejected,reads_ok,reads_failed," +
-		"adversarial_accepted,rejected_tampered,rejected_replayed,rejected_expired\n")
+		"adversarial_accepted,rejected_tampered,rejected_replayed,rejected_expired,dup_one_time_indexes\n")
 	for _, row := range r.Rows {
 		c := row.Counts
-		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.1f,%.1f,%.2f,%.2f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.1f,%.1f,%.2f,%.2f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			row.Scenario, row.Clients, row.OpsPerClient, row.Seconds,
 			row.TokensPerSec, row.TxPerSec, row.P50Millis, row.P95Millis, row.P99Millis,
 			c.TokenRequests, c.TokensIssued, c.TokensDenied, c.TSIssued, c.TSRejected,
 			c.TxSubmitted, c.TxAccepted, c.TxRejected, c.ReadsOK, c.ReadsFailed,
-			c.AdvAccepted, c.RejTampered, c.RejReplayed, c.RejExpired)
+			c.AdvAccepted, c.RejTampered, c.RejReplayed, c.RejExpired, c.DupOneTimeIndexes)
 	}
 	return b.String()
 }

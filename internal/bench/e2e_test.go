@@ -1,8 +1,13 @@
 package bench
 
 import (
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // runScenarioT runs one named scenario at smoke scale and returns its
@@ -90,6 +95,89 @@ func TestE2EDurableRecoversExactly(t *testing.T) {
 	if want := cfg.ExpectedCounts(); c != want {
 		t.Errorf("counts across the crash = %+v\nwant crash-free %+v", c, want)
 	}
+}
+
+// The chaos scenarios are the availability argument run end-to-end: one
+// replica of the networked counter group is killed / partitioned /
+// degraded mid-rush, and the counts must still be exactly those of a
+// fault-free run. The fault timing and the victim derive from a seed so
+// CI can sweep timings; a failing seed is logged for replay.
+//
+//	SMACS_CHAOS_SEED       pins the seed (default: time-derived, logged)
+//	SMACS_CHAOS_ARTIFACTS  copies the replica WALs of a failed run there
+func TestE2EChaosScenariosSeeded(t *testing.T) {
+	seed := time.Now().UnixNano()
+	if s := os.Getenv("SMACS_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SMACS_CHAOS_SEED: %v", err)
+		}
+		seed = v
+	}
+	t.Logf("chaos seed %d (set SMACS_CHAOS_SEED=%d to replay)", seed, seed)
+	for _, name := range []string{"chaos-kill", "chaos-partition", "chaos-slow"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg, err := ScenarioByName(name, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			row, runErr := runScenario(cfg, E2EConfig{Smoke: true, Dir: dir, ChaosSeed: seed})
+			switch {
+			case runErr != nil:
+				t.Errorf("seed %d: %v", seed, runErr)
+			case row.Counts != cfg.ExpectedCounts():
+				t.Errorf("seed %d: counts = %+v\nwant fault-free %+v", seed, row.Counts, cfg.ExpectedCounts())
+			case row.Counts.DupOneTimeIndexes != 0:
+				t.Errorf("seed %d: %d one-time indexes issued twice", seed, row.Counts.DupOneTimeIndexes)
+			case !row.ChaosFaultInjected:
+				t.Errorf("seed %d: the fault never fired — the run proves nothing", seed)
+			}
+			if t.Failed() {
+				if art := os.Getenv("SMACS_CHAOS_ARTIFACTS"); art != "" {
+					dst := filepath.Join(art, name)
+					if err := copyTree(dir, dst); err != nil {
+						t.Logf("copying replica WALs: %v", err)
+					} else {
+						t.Logf("replica WALs of the failed run copied to %s", dst)
+					}
+				}
+			}
+		})
+	}
+}
+
+// copyTree copies a directory recursively (os.CopyFS arrives in go1.23;
+// this module targets 1.22).
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
 }
 
 func TestE2EUnknownScenario(t *testing.T) {

@@ -66,6 +66,17 @@ type ScenarioConfig struct {
 	// RequireProof demands a proof of possession on every token request,
 	// exercising the client-side request signing over HTTP.
 	RequireProof bool `json:"requireProof,omitempty"`
+	// Chaos backs the sharded one-time counter with a networked
+	// 3-replica quorum group (internal/ts/replica/net) — WAL-backed
+	// replica processes behind fault-injecting TCP proxies
+	// (internal/nettest) — and injects the named fault (ChaosKill,
+	// ChaosPartition, ChaosSlow) into one replica mid-rush, healing it
+	// before the run ends. The group tolerates the single fault, so the
+	// correctness counts must equal a fault-free run's: no one-time
+	// index issued twice, no accepted transaction lost, every denial
+	// carrying its exact reason. Mutually exclusive with
+	// ReplicatedCounter and Durable.
+	Chaos string `json:"chaos,omitempty"`
 	// Durable backs the Token Service counter and the chain with
 	// file-backed stores (internal/store) and crashes the whole world
 	// mid-run: phase 1 performs roughly half of each client's ops, every
@@ -89,7 +100,8 @@ type ScenarioConfig struct {
 
 // ScenarioNames lists the shipped scenario profiles in run order.
 func ScenarioNames() []string {
-	return []string{"quickstart", "tokensale", "callchain", "adversarial", "mixed", "durable"}
+	return []string{"quickstart", "tokensale", "callchain", "adversarial", "mixed", "durable",
+		"chaos-kill", "chaos-partition", "chaos-slow"}
 }
 
 // ScenarioByName returns the named scenario profile at smoke scale (small,
@@ -184,9 +196,40 @@ func ScenarioByName(name string, smoke bool) (ScenarioConfig, error) {
 			TokenBatch:  6,
 			TxBatch:     8,
 		}, nil
+	case "chaos-kill":
+		return chaosScenario(name, ChaosKill,
+			"replica killed mid-rush: connections reset, rejoin under live traffic", pick), nil
+	case "chaos-partition":
+		return chaosScenario(name, ChaosPartition,
+			"replica partitioned mid-rush: traffic blackholed until the partition heals", pick), nil
+	case "chaos-slow":
+		return chaosScenario(name, ChaosSlow,
+			"replica degraded mid-rush: every byte through it delayed", pick), nil
 	default:
 		return ScenarioConfig{}, fmt.Errorf("bench: unknown scenario %q (supported: %s)",
 			name, strings.Join(ScenarioNames(), ", "))
+	}
+}
+
+// chaosScenario is the shared shape of the three chaos profiles: a sale
+// rush of one-time super tokens against the networked replica group,
+// with denied buyers and replay attacks riding along so the envelope
+// pins denial reasons and replay rejections under the fault too. Only
+// the injected fault differs between the three.
+func chaosScenario(name, fault, desc string, pick func(int, int) int) ScenarioConfig {
+	return ScenarioConfig{
+		Name:          name,
+		Description:   desc,
+		Workload:      WorkloadSale,
+		Clients:       pick(4, 8),
+		Ops:           pick(6, 60),
+		TokenType:     core.SuperType,
+		OneTime:       true,
+		DeniedClients: pick(2, 3),
+		ReplayedOps:   pick(5, 24),
+		Chaos:         fault,
+		TokenBatch:    5,
+		TxBatch:       16,
 	}
 }
 

@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nettest"
+	"repro/internal/rules"
+	"repro/internal/secp256k1"
+	"repro/internal/ts"
+	"repro/internal/ts/replica/net"
+	"repro/internal/ts/ring"
+	"repro/internal/tshttp"
+)
+
+// The sharded-issuance sweep (-mode shard) measures how one-time token
+// throughput scales with replica-group count: the token keyspace is
+// sharded across G independent 3-replica quorum groups by the
+// consistent-hash ring (internal/ts/ring), each group's coordinator is
+// striped (ring.Stripe) so index ranges stay globally disjoint without
+// any cross-group coordination, and every replica sits behind a proxy
+// injecting a fixed per-hop delay so the quorum round-trip — not local
+// CPU — is the bottleneck, as it would be across real machines. Each
+// added group brings its own quorum, so tokens/s must rise with G; the
+// sweep also audits that no index is ever issued twice across all
+// groups, which is exactly what the striping guarantees.
+
+// shardReplicas is each group's replica count: one independent quorum.
+const shardReplicas = 3
+
+// ShardConfig parameterizes the sharded-issuance sweep.
+type ShardConfig struct {
+	// Groups are the replica-group counts to sweep (e.g. 1,2,4).
+	Groups []int `json:"groups"`
+	// Clients is the number of concurrent wallet clients; each is routed
+	// to its group by the consistent-hash ring over its sender address.
+	Clients int `json:"clients"`
+	// Ops is the number of one-time tokens each client obtains.
+	Ops int `json:"opsPerClient"`
+	// TokenBatch is the number of tokens per POST /v1/tokens round-trip.
+	TokenBatch int `json:"tokenBatch"`
+	// RTT is the injected one-way per-hop delay on every replica link,
+	// modeling the network between the coordinator and its replicas.
+	RTT time.Duration `json:"rtt"`
+	// OnRow observes every completed cell in run order (partial flushing).
+	OnRow func(ShardRow) `json:"-"`
+}
+
+// ShardRow is one cell of the sweep: all clients driving G groups.
+type ShardRow struct {
+	Groups       int     `json:"groups"`
+	Clients      int     `json:"clients"`
+	OpsPerClient int     `json:"opsPerClient"`
+	Tokens       int     `json:"tokens"`
+	Seconds      float64 `json:"seconds"`
+	TokensPerSec float64 `json:"tokensPerSec"`
+	// PerGroup is how many tokens each group issued — the ring's load
+	// split over this client population.
+	PerGroup []int `json:"perGroup"`
+}
+
+// ShardResult is the full sweep.
+type ShardResult struct {
+	Config ShardConfig `json:"config"`
+	Rows   []ShardRow  `json:"rows"`
+}
+
+// Shard runs the sharded-issuance sweep.
+func Shard(cfg ShardConfig) (*ShardResult, error) {
+	if len(cfg.Groups) == 0 {
+		cfg.Groups = []int{1, 2, 4}
+	}
+	if cfg.Clients < 1 || cfg.Ops < 1 {
+		return nil, fmt.Errorf("shard sweep needs clients and ops, got %d×%d", cfg.Clients, cfg.Ops)
+	}
+	if cfg.TokenBatch < 1 {
+		cfg.TokenBatch = 25
+	}
+	res := &ShardResult{Config: cfg}
+	for _, g := range cfg.Groups {
+		if g < 1 {
+			return nil, fmt.Errorf("group count must be ≥ 1, got %d", g)
+		}
+		row, err := runShardCell(cfg, g)
+		if err != nil {
+			return nil, fmt.Errorf("shard sweep, %d groups: %w", g, err)
+		}
+		res.Rows = append(res.Rows, row)
+		if cfg.OnRow != nil {
+			cfg.OnRow(row)
+		}
+	}
+	return res, nil
+}
+
+// shardGroup is one replica group's stack for the sweep.
+type shardGroup struct {
+	name string
+	base string
+}
+
+func runShardCell(cfg ShardConfig, groups int) (ShardRow, error) {
+	var cleanups []func()
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}()
+
+	// Shared identity and rules: one signing key and one whitelist across
+	// every group, exactly like one logical Token Service scaled out.
+	tsKey := secp256k1.PrivateKeyFromSeed([]byte("shard sweep ts key"))
+	clients := make([]*secp256k1.PrivateKey, cfg.Clients)
+	allowed := rules.NewList(rules.Whitelist)
+	for i := range clients {
+		clients[i] = secp256k1.PrivateKeyFromSeed([]byte(fmt.Sprintf("shard sweep client %d", i)))
+		allowed.Add(core.ValueKey(clients[i].Address()))
+	}
+	ruleSet := rules.NewRuleSet()
+	ruleSet.SetSenderList(allowed)
+	target := secp256k1.PrivateKeyFromSeed([]byte("shard sweep target")).Address()
+
+	// G groups: each an independent quorum of volatile replicas behind
+	// delay-injecting proxies, striped so index ranges never overlap.
+	r := ring.New(0)
+	stacks := make([]shardGroup, groups)
+	reg := metrics.NewRegistry()
+	for g := 0; g < groups; g++ {
+		name := fmt.Sprintf("group-%d", g)
+		r.Add(name)
+		urls := make([]string, shardReplicas)
+		for i := 0; i < shardReplicas; i++ {
+			srv, err := net.Serve(net.NewNode(), "127.0.0.1:0")
+			if err != nil {
+				return ShardRow{}, err
+			}
+			cleanups = append(cleanups, func() { _ = srv.Close() })
+			proxy, err := nettest.NewProxy(srv.Addr())
+			if err != nil {
+				return ShardRow{}, err
+			}
+			cleanups = append(cleanups, func() { _ = proxy.Close() })
+			proxy.SetDelay(cfg.RTT)
+			urls[i] = proxy.URL()
+		}
+		coord, err := net.NewCoordinator(urls, net.Options{})
+		if err != nil {
+			return ShardRow{}, err
+		}
+		stripe, err := ring.NewStripe(coord, g, groups)
+		if err != nil {
+			return ShardRow{}, err
+		}
+		sharded, err := ts.NewShardedCounter(stripe, shardedCounterShards, shardedCounterBlock)
+		if err != nil {
+			return ShardRow{}, err
+		}
+		svc, err := ts.New(ts.Config{Key: tsKey, Rules: ruleSet, Counter: sharded, Metrics: reg})
+		if err != nil {
+			return ShardRow{}, err
+		}
+		base, stop, err := startServer(svc, reg)
+		if err != nil {
+			return ShardRow{}, err
+		}
+		cleanups = append(cleanups, stop)
+		stacks[g] = shardGroup{name: name, base: base}
+	}
+	groupIdx := make(map[string]int, groups)
+	for g, s := range stacks {
+		groupIdx[s.name] = g
+	}
+
+	// Route every client to its group and drive them concurrently.
+	type clientOut struct {
+		group   int
+		indexes []int64
+		err     error
+	}
+	outs := make([]clientOut, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, key := range clients {
+		name, err := r.Get(key.Address().Bytes())
+		if err != nil {
+			return ShardRow{}, err
+		}
+		g := groupIdx[name]
+		outs[i].group = g
+		cl := tshttp.NewClient(stacks[g].base, "")
+		wg.Add(1)
+		go func(i int, key *secp256k1.PrivateKey, cl *tshttp.Client) {
+			defer wg.Done()
+			indexes := make([]int64, 0, cfg.Ops)
+			for off := 0; off < cfg.Ops; off += cfg.TokenBatch {
+				n := min(cfg.TokenBatch, cfg.Ops-off)
+				reqs := make([]*core.Request, n)
+				for j := range reqs {
+					reqs[j] = &core.Request{
+						Type:     core.SuperType,
+						Contract: target,
+						Sender:   key.Address(),
+						OneTime:  true,
+					}
+				}
+				res, err := cl.RequestTokens(reqs)
+				if err != nil {
+					outs[i].err = err
+					return
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						outs[i].err = fmt.Errorf("unexpected denial: %w", r.Err)
+						return
+					}
+					if !r.Token.OneTime() {
+						outs[i].err = fmt.Errorf("token issued without a one-time index")
+						return
+					}
+					indexes = append(indexes, r.Token.Index)
+				}
+			}
+			outs[i].indexes = indexes
+		}(i, key, cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Global uniqueness across every group — the property the striping
+	// exists to guarantee without cross-group coordination.
+	seen := make(map[int64]bool, cfg.Clients*cfg.Ops)
+	perGroup := make([]int, groups)
+	total := 0
+	for _, out := range outs {
+		if out.err != nil {
+			return ShardRow{}, out.err
+		}
+		for _, idx := range out.indexes {
+			if seen[idx] {
+				return ShardRow{}, fmt.Errorf("one-time index %d issued twice across groups", idx)
+			}
+			seen[idx] = true
+		}
+		perGroup[out.group] += len(out.indexes)
+		total += len(out.indexes)
+	}
+	return ShardRow{
+		Groups:       groups,
+		Clients:      cfg.Clients,
+		OpsPerClient: cfg.Ops,
+		Tokens:       total,
+		Seconds:      elapsed.Seconds(),
+		TokensPerSec: float64(total) / elapsed.Seconds(),
+		PerGroup:     perGroup,
+	}, nil
+}
+
+// Format renders the sweep as the sharded-issuance scaling table of
+// docs/BENCHMARKS.md.
+func (r *ShardResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded issuance scaling: %d clients × %d one-time tokens, %s injected per replica hop\n",
+		r.Config.Clients, r.Config.Ops, r.Config.RTT)
+	fmt.Fprintf(&b, "  %-7s %8s %9s %10s   %s\n", "groups", "tokens", "seconds", "tokens/s", "per-group split")
+	for _, row := range r.Rows {
+		split := make([]string, len(row.PerGroup))
+		for i, n := range row.PerGroup {
+			split[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(&b, "  %-7d %8d %9.3f %10.1f   %s\n",
+			row.Groups, row.Tokens, row.Seconds, row.TokensPerSec, strings.Join(split, "/"))
+	}
+	b.WriteString("Every index audited unique across all groups (ring-striped keyspace).\n")
+	return b.String()
+}
+
+// CSV renders the sweep machine-readably.
+func (r *ShardResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("groups,clients,ops_per_client,tokens,seconds,tokens_per_sec\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%.3f,%.1f\n",
+			row.Groups, row.Clients, row.OpsPerClient, row.Tokens, row.Seconds, row.TokensPerSec)
+	}
+	return b.String()
+}

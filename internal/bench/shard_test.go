@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// A small sweep must issue exactly clients×ops tokens per cell with every
+// index globally unique (the uniqueness audit lives inside Shard and
+// fails the sweep), and the ring must actually spread the client
+// population across groups when more than one exists. Throughput scaling
+// with group count is a timing property, measured by -mode shard at real
+// RTTs and pinned in docs/BENCHMARKS.md, not asserted at smoke scale.
+func TestShardSweepIssuesExactlyAndSplits(t *testing.T) {
+	var seen []ShardRow
+	res, err := Shard(ShardConfig{
+		Groups:     []int{1, 2},
+		Clients:    4,
+		Ops:        12,
+		TokenBatch: 5,
+		OnRow:      func(r ShardRow) { seen = append(seen, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || len(seen) != 2 {
+		t.Fatalf("rows = %d, OnRow calls = %d, want 2 each", len(res.Rows), len(seen))
+	}
+	for _, row := range res.Rows {
+		if row.Tokens != 4*12 {
+			t.Errorf("%d groups: %d tokens, want %d", row.Groups, row.Tokens, 4*12)
+		}
+		if len(row.PerGroup) != row.Groups {
+			t.Errorf("%d groups: per-group split has %d entries", row.Groups, len(row.PerGroup))
+		}
+		sum := 0
+		for _, n := range row.PerGroup {
+			sum += n
+		}
+		if sum != row.Tokens {
+			t.Errorf("%d groups: per-group split sums to %d, not %d", row.Groups, sum, row.Tokens)
+		}
+	}
+	// 4 seeded client addresses over 2 groups with 2048 virtual nodes: the
+	// ring must not collapse every client onto one group.
+	for _, n := range res.Rows[1].PerGroup {
+		if n == res.Rows[1].Tokens {
+			t.Errorf("2 groups: ring routed every client to one group: %v", res.Rows[1].PerGroup)
+		}
+	}
+	if !strings.Contains(res.Format(), "audited unique") {
+		t.Errorf("Format missing the uniqueness note:\n%s", res.Format())
+	}
+	if lines := strings.Split(strings.TrimSpace(res.CSV()), "\n"); len(lines) != 3 {
+		t.Errorf("CSV has %d lines, want header + 2 rows", len(lines))
+	}
+}
+
+func TestShardSweepRejectsBadConfig(t *testing.T) {
+	if _, err := Shard(ShardConfig{Clients: 0, Ops: 5}); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := Shard(ShardConfig{Groups: []int{0}, Clients: 2, Ops: 2}); err == nil {
+		t.Error("zero group count accepted")
+	}
+}

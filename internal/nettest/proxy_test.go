@@ -1,0 +1,363 @@
+package nettest
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startEcho runs a loopback echo server that mirrors every received byte
+// back to the sender until the peer half-closes, then closes its side.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+func startProxy(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p, err := NewProxy(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	return p
+}
+
+// echoRoundTrip writes one line through conn and reads the echo back.
+func echoRoundTrip(conn net.Conn, line string) (string, error) {
+	if _, err := io.WriteString(conn, line+"\n"); err != nil {
+		return "", err
+	}
+	return bufio.NewReader(conn).ReadString('\n')
+}
+
+func TestProxyForwardsCleanTraffic(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	got, err := echoRoundTrip(conn, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello\n" {
+		t.Fatalf("echoed %q, want %q", got, "hello\n")
+	}
+	accepted, dropped, resets, forwarded := p.Stats()
+	if accepted != 1 || dropped != 0 || resets != 0 {
+		t.Errorf("stats accepted=%d dropped=%d resets=%d, want 1/0/0", accepted, dropped, resets)
+	}
+	if forwarded < 2*uint64(len("hello\n")) {
+		t.Errorf("forwarded %d bytes, want ≥ %d", forwarded, 2*len("hello\n"))
+	}
+}
+
+// Drop must refuse new connections (close before any byte) while leaving
+// established ones untouched; lifting it readmits connections.
+func TestProxyDropSemantics(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	live, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if _, err := echoRoundTrip(live, "pre"); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetDrop(true)
+	refused, err := net.Dial("tcp", p.Addr())
+	if err == nil {
+		// The TCP handshake itself may succeed before the proxy closes the
+		// socket; the first round-trip must fail either way.
+		defer refused.Close()
+		_ = refused.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := echoRoundTrip(refused, "dropped"); err == nil {
+			t.Fatal("round-trip through a dropped connection succeeded")
+		}
+	}
+	// The established connection keeps working through the fault.
+	if _, err := echoRoundTrip(live, "mid"); err != nil {
+		t.Fatalf("established connection broken by drop fault: %v", err)
+	}
+
+	p.SetDrop(false)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := echoRoundTrip(conn, "post"); err != nil {
+		t.Fatalf("connection after heal failed: %v", err)
+	}
+	if _, dropped, _, _ := p.Stats(); dropped == 0 {
+		t.Error("drop fault recorded no dropped connections")
+	}
+}
+
+// Delay must hold forwarded chunks for at least the configured duration
+// in each direction.
+func TestProxyDelaySemantics(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	p := startProxy(t, startEcho(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := echoRoundTrip(conn, "warm"); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetDelay(delay)
+	start := time.Now()
+	if _, err := echoRoundTrip(conn, "slow"); err != nil {
+		t.Fatal(err)
+	}
+	// Request and echo both cross the proxy: two delayed chunks minimum.
+	if elapsed := time.Since(start); elapsed < 2*delay {
+		t.Errorf("delayed round-trip took %v, want ≥ %v", elapsed, 2*delay)
+	}
+
+	p.SetDelay(0)
+	start = time.Now()
+	if _, err := echoRoundTrip(conn, "fast"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= 2*delay {
+		t.Errorf("healed round-trip still took %v", elapsed)
+	}
+}
+
+// Partition must blackhole both directions without closing anything, and
+// healing must release the blocked bytes.
+func TestProxyPartitionSemantics(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := echoRoundTrip(conn, "pre"); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetPartition(true)
+	if _, err := io.WriteString(conn, "lost?\n"); err != nil {
+		t.Fatalf("write into a partition must buffer, not fail: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	var buf [64]byte
+	if n, err := conn.Read(buf[:]); err == nil || n > 0 {
+		t.Fatalf("read %d bytes through a partition (err=%v), want timeout", n, err)
+	} else {
+		// Only a timeout is acceptable; a reset/EOF would mean the
+		// partition closed the connection, which real partitions never do.
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Fatalf("partitioned read failed with %v, want timeout", err)
+		}
+	}
+
+	// New connections during the partition connect but carry nothing.
+	during, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer during.Close()
+	_ = during.SetDeadline(time.Now().Add(150 * time.Millisecond))
+	if _, err := echoRoundTrip(during, "void"); err == nil {
+		t.Fatal("round-trip through a partition succeeded")
+	}
+
+	// Heal: the buffered bytes flow and the connection works again.
+	p.SetPartition(false)
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if got != "lost?\n" {
+		t.Fatalf("post-heal read %q, want %q", got, "lost?\n")
+	}
+}
+
+// ResetAll must tear down established connections even while a transfer
+// is in flight: one side blocked mid-write sees a hard error, not a
+// clean EOF after a complete payload.
+func TestProxyMidWriteReset(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := echoRoundTrip(conn, "pre"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow the proxy so the bulk write is still streaming when the reset
+	// lands.
+	p.SetDelay(5 * time.Millisecond)
+	payload := bytes.Repeat([]byte("x"), 1<<20)
+	writeErr := make(chan error, 1)
+	go func() {
+		_, err := conn.Write(payload)
+		if err == nil {
+			// The kernel may buffer the whole payload, and echoed bytes that
+			// crossed the proxy before the reset landed may already sit in
+			// the client's receive buffer; drain until the teardown surfaces.
+			buf := make([]byte, 32<<10)
+			for err == nil {
+				_, err = conn.Read(buf)
+			}
+		}
+		writeErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.ResetAll()
+
+	select {
+	case err := <-writeErr:
+		if err == nil {
+			t.Fatal("transfer survived ResetAll")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reset connection still blocked after 10s")
+	}
+	if _, _, resets, _ := p.Stats(); resets == 0 {
+		t.Error("ResetAll recorded no resets")
+	}
+}
+
+// A client half-close (CloseWrite) must propagate as EOF to the server
+// while the server→client direction keeps delivering data — the proxy
+// may not collapse a half-open connection into a full close.
+func TestProxyHalfOpenConnection(t *testing.T) {
+	// A server that reads everything first, then answers after EOF — it
+	// only works if the reverse path survives the client's half-close.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		data, _ := io.ReadAll(conn) // returns at client FIN
+		_, _ = conn.Write([]byte(strings.ToUpper(string(data))))
+	}()
+
+	p := startProxy(t, l.Addr().String())
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := io.WriteString(conn, "half-open"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.(*net.TCPConn).CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("read after half-close: %v", err)
+	}
+	if string(reply) != "HALF-OPEN" {
+		t.Fatalf("reply %q, want %q", reply, "HALF-OPEN")
+	}
+}
+
+// Concurrent connections under churning faults must neither deadlock nor
+// trip the race detector; after Heal the proxy still serves cleanly.
+func TestProxyConcurrentFaultChurn(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Fault churner: cycles every fault while clients hammer the proxy.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				p.SetDelay(time.Millisecond)
+			case 1:
+				p.SetPartition(true)
+				time.Sleep(2 * time.Millisecond)
+				p.SetPartition(false)
+			case 2:
+				p.SetDrop(true)
+				time.Sleep(time.Millisecond)
+				p.SetDrop(false)
+			case 3:
+				p.ResetAll()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				conn, err := net.Dial("tcp", p.Addr())
+				if err != nil {
+					continue // drop fault active
+				}
+				_ = conn.SetDeadline(time.Now().Add(250 * time.Millisecond))
+				_, _ = echoRoundTrip(conn, "churn") // errors expected under faults
+				_ = conn.Close()
+			}
+		}()
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	p.Heal()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if got, err := echoRoundTrip(conn, "after"); err != nil || got != "after\n" {
+		t.Fatalf("post-churn round-trip = %q, %v", got, err)
+	}
+}

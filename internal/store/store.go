@@ -41,6 +41,12 @@ const (
 	// evm commit-record encoding (transaction plus block time), Value the
 	// block height it mined.
 	KindCommit
+	// KindEpoch records a coordinator epoch promised by a Token Service
+	// counter replica (replica/net): Value is the epoch. Journaling the
+	// promise alongside KindLease grants keeps epoch fencing effective
+	// across a replica restart — a rejoined replica still rejects
+	// proposals from coordinators it already promised away from.
+	KindEpoch
 	// kindEnd is one past the last valid kind.
 	kindEnd
 )

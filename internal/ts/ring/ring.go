@@ -1,0 +1,220 @@
+// Package ring shards the Token Service's token keyspace across replica
+// groups with a consistent-hash ring, so issuance capacity scales
+// horizontally: each group runs its own quorum-replicated one-time
+// counter, and a request is routed to the group that owns its key
+// (typically the sender address). Adding a group moves only ~1/N of the
+// keyspace — existing groups keep almost all of their keys, which keeps
+// caches warm and counters hot during a resharding.
+//
+// Global index uniqueness across groups does not come from the ring
+// (two groups' counters run independently); it comes from striping:
+// group i of N allocates only indexes ≡ i (mod N) via Stripe, so the
+// groups partition the index space without ever coordinating.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultVirtualNodes is the number of ring positions each group
+// occupies when New is called with 0. More virtual nodes smooth the
+// keyspace split (the property test pins ±10% balance at this setting).
+const DefaultVirtualNodes = 2048
+
+// Ring is a consistent-hash ring mapping keys to group names. It is safe
+// for concurrent use; Get is lock-free relative to other Gets (a single
+// RWMutex read-lock) and membership changes are copy-free in place.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	points []point // sorted by hash
+	groups map[string]bool
+}
+
+// point is one virtual node: a position on the 64-bit hash circle owned
+// by a group.
+type point struct {
+	hash  uint64
+	group string
+}
+
+// New creates an empty ring with the given number of virtual nodes per
+// group (0 = DefaultVirtualNodes).
+func New(virtualNodes int) *Ring {
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: virtualNodes, groups: make(map[string]bool)}
+}
+
+// mix64 finishes a raw FNV value with the murmur3 fmix64 avalanche.
+// Plain FNV-1a of near-identical inputs (vnode names differing only in a
+// counter) leaves linear structure in the output that skews arc lengths
+// by several hundred percent; the finalizer restores full-width
+// dispersion. This is placement, not cryptography — speed over
+// preimage resistance.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// hashKey positions arbitrary bytes on the circle.
+func hashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(key)
+	return mix64(h.Sum64())
+}
+
+// vnodeHash positions one of a group's virtual nodes.
+func vnodeHash(group string, i int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(group))
+	_, _ = h.Write([]byte{'#', byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i)})
+	return mix64(h.Sum64())
+}
+
+// Add inserts a group's virtual nodes. Adding a present group is a
+// no-op.
+func (r *Ring) Add(group string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.groups[group] {
+		return
+	}
+	r.groups[group] = true
+	fresh := make([]point, r.vnodes)
+	for i := range fresh {
+		fresh[i] = point{hash: vnodeHash(group, i), group: group}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].hash < fresh[j].hash })
+	// Merge instead of re-sorting everything: r.points is already sorted,
+	// so adding a group costs O(V log V + total) rather than
+	// O(total log total) — membership changes stay cheap on big rings.
+	merged := make([]point, 0, len(r.points)+len(fresh))
+	i, j := 0, 0
+	for i < len(r.points) && j < len(fresh) {
+		if r.points[i].hash <= fresh[j].hash {
+			merged = append(merged, r.points[i])
+			i++
+		} else {
+			merged = append(merged, fresh[j])
+			j++
+		}
+	}
+	merged = append(merged, r.points[i:]...)
+	merged = append(merged, fresh[j:]...)
+	r.points = merged
+}
+
+// Remove deletes a group and all its virtual nodes. Removing an absent
+// group is a no-op.
+func (r *Ring) Remove(group string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.groups[group] {
+		return
+	}
+	delete(r.groups, group)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.group != group {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Groups returns the current members in sorted order.
+func (r *Ring) Groups() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.groups))
+	for g := range r.groups {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of member groups.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.groups)
+}
+
+// Get returns the group owning key: the first virtual node at or after
+// the key's position, wrapping around the circle. It errors on an empty
+// ring.
+func (r *Ring) Get(key []byte) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", fmt.Errorf("ring: no groups")
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].group, nil
+}
+
+// GetString is Get for string keys (e.g. hex sender addresses).
+func (r *Ring) GetString(key string) (string, error) { return r.Get([]byte(key)) }
+
+// Counter is the minimal allocator interface Stripe wraps — identical to
+// ts.Counter, restated here so the package has no dependency cycle with
+// ts.
+type Counter interface {
+	Next() (int64, error)
+}
+
+// Stripe partitions the global index space across groups without
+// coordination: the wrapped counter's k-th allocation maps to index
+// (k-1)*Count + Index + 1, so group i of N only ever produces indexes
+// ≡ i+1 (mod N). Two distinct groups can never collide, which restores
+// the global one-time uniqueness the paper's § IV-C demands even though
+// each group's quorum runs independently.
+//
+// Like ShardedCounter, striped indexes are not globally dense: sizing a
+// one-time bitmap for striped traffic must multiply the per-group spread
+// by Count (see MaxSpread scaling in the bench harness).
+type Stripe struct {
+	// Underlying allocates the group-local sequence 1, 2, 3, …
+	Underlying Counter
+	// Index is this group's stripe (0 ≤ Index < Count).
+	Index int
+	// Count is the total number of groups.
+	Count int
+}
+
+// NewStripe validates and builds a stripe over underlying.
+func NewStripe(underlying Counter, index, count int) (*Stripe, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("ring: stripe count must be positive, got %d", count)
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("ring: stripe index %d out of range [0,%d)", index, count)
+	}
+	if underlying == nil {
+		return nil, fmt.Errorf("ring: stripe needs an underlying counter")
+	}
+	return &Stripe{Underlying: underlying, Index: index, Count: count}, nil
+}
+
+// Next implements the counter interface with the striped mapping.
+func (s *Stripe) Next() (int64, error) {
+	k, err := s.Underlying.Next()
+	if err != nil {
+		return 0, err
+	}
+	return (k-1)*int64(s.Count) + int64(s.Index) + 1, nil
+}

@@ -39,6 +39,14 @@ const (
 	batchSlotTimeout = 100 * time.Millisecond
 )
 
+// transportRetries is how many times a call is resubmitted after a
+// transport failure classified retryable (see TransportError) before
+// the error surfaces; retryBackoff spaces the attempts.
+const (
+	transportRetries = 2
+	retryBackoff     = 25 * time.Millisecond
+)
+
 // NewClient creates a client for the service at base (e.g.
 // "http://127.0.0.1:8546"). ownerToken may be empty for pure clients.
 func NewClient(base string, ownerToken string) *Client {
@@ -72,6 +80,25 @@ func drainClose(body io.ReadCloser) {
 	_ = body.Close()
 }
 
+// doRetry runs fn until it yields a response, resubmitting on transport
+// failures that are safe to retry: idempotent calls always, others only
+// when the request provably never reached the service (dial failures).
+// A non-retryable failure — or retryable ones past transportRetries —
+// surfaces as a *TransportError carrying the classification.
+func doRetry(op string, idempotent bool, fn func() (*http.Response, error)) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := fn()
+		if err == nil {
+			return resp, nil
+		}
+		werr := classifyTransport(op, err, idempotent)
+		if !werr.Retryable || attempt >= transportRetries {
+			return nil, werr
+		}
+		time.Sleep(retryBackoff)
+	}
+}
+
 // errorFromResponse drains a non-200 response's wire error into one
 // formatted error.
 func errorFromResponse(resp *http.Response, what string) error {
@@ -90,9 +117,13 @@ func (c *Client) RequestToken(req *core.Request) (core.Token, error) {
 	if err != nil {
 		return core.Token{}, err
 	}
-	resp, err := c.http.Post(c.base+"/v1/token", "application/json", bytes.NewReader(body))
+	// Token issuance is NOT idempotent (a successful issue consumes a
+	// one-time index), so only provably-unsent failures are retried.
+	resp, err := doRetry("token request", false, func() (*http.Response, error) {
+		return c.http.Post(c.base+"/v1/token", "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
-		return core.Token{}, fmt.Errorf("token request: %w", err)
+		return core.Token{}, err
 	}
 	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
@@ -137,14 +168,18 @@ func (c *Client) RequestTokens(reqs []*core.Request) ([]ts.Result, error) {
 	ctx, cancel := context.WithTimeout(context.Background(),
 		singleTimeout+time.Duration(len(reqs))*batchSlotTimeout)
 	defer cancel()
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/tokens", bytes.NewReader(body))
+	// Batch issuance is as non-idempotent as the single path: retry only
+	// failures where no byte can have reached the service.
+	resp, err := doRetry("batch token request", false, func() (*http.Response, error) {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/tokens", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		return c.batch.Do(httpReq)
+	})
 	if err != nil {
 		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.batch.Do(httpReq)
-	if err != nil {
-		return nil, fmt.Errorf("batch token request: %w", err)
 	}
 	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
@@ -184,7 +219,9 @@ type Info struct {
 // transport failures, non-200 responses, and malformed bodies — a zero
 // Info is never silently returned.
 func (c *Client) Info() (Info, error) {
-	resp, err := c.http.Get(c.base + "/v1/info")
+	resp, err := doRetry("info request", true, func() (*http.Response, error) {
+		return c.http.Get(c.base + "/v1/info")
+	})
 	if err != nil {
 		return Info{}, err
 	}
@@ -213,7 +250,9 @@ type Stats struct {
 
 // Stats fetches the service's aggregate issued/rejected counters.
 func (c *Client) Stats() (Stats, error) {
-	resp, err := c.http.Get(c.base + "/v1/stats")
+	resp, err := doRetry("stats request", true, func() (*http.Response, error) {
+		return c.http.Get(c.base + "/v1/stats")
+	})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -234,13 +273,17 @@ func (c *Client) UpdateRules(rs *rules.RuleSet) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, c.base+"/v1/rules", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Authorization", "Bearer "+c.owner)
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http.Do(req)
+	// Replacing the rule set is idempotent — resubmitting the same PUT
+	// converges to the same state — so any transport failure is retried.
+	resp, err := doRetry("update rules", true, func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodPut, c.base+"/v1/rules", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Authorization", "Bearer "+c.owner)
+		req.Header.Set("Content-Type", "application/json")
+		return c.http.Do(req)
+	})
 	if err != nil {
 		return err
 	}
@@ -253,12 +296,14 @@ func (c *Client) UpdateRules(rs *rules.RuleSet) error {
 
 // FetchRules downloads the current ACRs (owner only).
 func (c *Client) FetchRules() (*rules.RuleSet, error) {
-	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/rules", nil)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Authorization", "Bearer "+c.owner)
-	resp, err := c.http.Do(req)
+	resp, err := doRetry("fetch rules", true, func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodGet, c.base+"/v1/rules", nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Authorization", "Bearer "+c.owner)
+		return c.http.Do(req)
+	})
 	if err != nil {
 		return nil, err
 	}
