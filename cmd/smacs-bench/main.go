@@ -80,6 +80,7 @@ func main() {
 		groups  = flag.String("groups", "1,2,4", "shard: comma-separated replica-group counts to sweep")
 		clients = flag.Int("clients", 16, "shard: concurrent wallet clients, routed to groups by the consistent-hash ring")
 		ops     = flag.Int("ops", 60, "shard: one-time tokens per client")
+		join    = flag.Bool("join", false, "shard: live-resharding cells — a replica group joins mid-run through the membership protocol")
 
 		txs        = flag.Int("txs", 192, "chain: guarded transactions per cell")
 		senders    = flag.Int("senders", 16, "chain: distinct client accounts")
@@ -130,7 +131,7 @@ func main() {
 			err = runE2E(*scenario, *smoke, *envelopePath, *writeEnvelope,
 				*dirPath, *fsyncBatch, *csvPath, benchPath, *tracePath, *asJSON, flusher)
 		case "shard":
-			err = runShard(*groups, *clients, *ops, *batch, *rtt, *csvPath, benchPath, *asJSON, flusher)
+			err = runShard(*groups, *clients, *ops, *batch, *rtt, *join, *csvPath, benchPath, *asJSON, flusher)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smacs-bench:", err)
@@ -387,13 +388,17 @@ func runLoad(workers string, duration, warmup time.Duration, onetime bool, rtt t
 // runShard drives the sharded-issuance scaling sweep: for each group
 // count G, the one-time token keyspace is split by the consistent-hash
 // ring across G independent 3-replica quorum groups (each replica behind
-// a -rtt delay proxy), and tokens/s must rise with G.
-func runShard(groups string, clients, ops, batch int, rtt time.Duration, csvPath, benchPath string, asJSON bool, flusher *partialFlusher) error {
+// a -rtt delay proxy), and tokens/s must rise with G. With -join each
+// cell instead reshards live: a (G+1)-th group joins mid-run through the
+// membership protocol, and the row reports the issuance rate before,
+// during, and after the change.
+func runShard(groups string, clients, ops, batch int, rtt time.Duration, join bool, csvPath, benchPath string, asJSON bool, flusher *partialFlusher) error {
 	cfg := bench.ShardConfig{
 		Clients:    clients,
 		Ops:        ops,
 		TokenBatch: batch,
 		RTT:        rtt,
+		Join:       join,
 	}
 	var err error
 	if cfg.Groups, err = parseInts("-groups", groups); err != nil {
@@ -403,6 +408,11 @@ func runShard(groups string, clients, ops, batch int, rtt time.Duration, csvPath
 	cfg.OnRow = func(r bench.ShardRow) {
 		rows = append(rows, r)
 		flusher.set(&bench.ShardResult{Config: cfg, Rows: append([]bench.ShardRow(nil), rows...)})
+	}
+	var joinRows []bench.JoinRow
+	cfg.OnJoinRow = func(r bench.JoinRow) {
+		joinRows = append(joinRows, r)
+		flusher.set(&bench.ShardResult{Config: cfg, JoinRows: append([]bench.JoinRow(nil), joinRows...)})
 	}
 	res, err := bench.Shard(cfg)
 	if err != nil {

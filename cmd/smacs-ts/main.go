@@ -36,6 +36,25 @@
 //	smacs-ts -addr :8546 -peers ... -group 0/2
 //	smacs-ts -addr :8547 -peers ... -group 1/2
 //
+// Dynamic membership replaces the fixed -group i/n striping with named
+// replica groups that can join and drain at runtime. Each frontend
+// names its group and the bootstrap membership; an operator then drives
+// changes through the owner-guarded admin endpoints
+// (POST /v1/admin/{join,drain}) on any live frontend, and every member
+// adopts the new epoch-numbered view without ever issuing a duplicate
+// one-time index (see internal/ts/membership). With -dir the adopted
+// views and released block leases are journaled under dir/membership,
+// so a restarted frontend resumes its last view instead of its boot
+// view:
+//
+//	smacs-ts -addr :8546 -peers ... -group-name g1 \
+//	         -initial-groups g1=http://h1:8546,g2=http://h2:8546 -dir /var/lib/fe1
+//
+// On SIGTERM the daemon drains in-flight requests and releases its
+// unexhausted block leases (journaled with -store file or -group-name
+// plus -dir), so a clean restart re-issues the remainders instead of
+// burning them.
+//
 // Observability: GET /metrics on the main listener renders the process
 // registry (issuance counters, HTTP latency histograms, WAL series) in
 // Prometheus text format. -metrics-addr moves the scrape endpoint to a
@@ -54,6 +73,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -61,8 +81,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/metrics"
@@ -70,6 +94,7 @@ import (
 	"repro/internal/secp256k1"
 	"repro/internal/store"
 	"repro/internal/ts"
+	"repro/internal/ts/membership"
 	replicanet "repro/internal/ts/replica/net"
 	"repro/internal/ts/ring"
 	"repro/internal/tshttp"
@@ -92,11 +117,14 @@ func main() {
 		peers     = flag.String("peers", "", "comma-separated replica base URLs (odd count): allocate one-time index blocks through a majority quorum of them instead of locally")
 		group     = flag.String("group", "", `"i/n": this frontend is shard i of n sharing the replica group — its blocks are striped so all n issue globally unique indexes with no coordination (requires -peers)`)
 
+		groupName     = flag.String("group-name", "", "dynamic membership: this frontend's named replica group — serve the membership protocol and stripe blocks under an epoch-numbered view that admits joins and drains at runtime (requires -peers and -initial-groups; exclusive with -group)")
+		initialGroups = flag.String("initial-groups", "", `"name=url,...": bootstrap membership view mapping each group to its frontend base URL; a -group-name absent from the list boots as a joiner and serves only after POST /v1/admin/join admits it (ignored when -dir holds a persisted view)`)
+
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics on this separate listener (empty: the main listener's /metrics)")
 		pprofOn     = flag.Bool("pprof", false, "mount /debug/pprof/* on the metrics listener (or the main one without -metrics-addr)")
 	)
 	flag.Parse()
-	if err := validateFlags(*addr, *metricsAddr, *shards, *fsyncBatch, *replicaOf, *peers, *group); err != nil {
+	if err := validateFlags(*addr, *metricsAddr, *shards, *fsyncBatch, *replicaOf, *peers, *group, *groupName, *initialGroups); err != nil {
 		fmt.Fprintln(os.Stderr, "smacs-ts:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -105,7 +133,7 @@ func main() {
 	if *replicaOf != "" {
 		err = runReplica(*addr, *replicaOf, *storeKind, *dirPath, *fsyncBatch)
 	} else {
-		err = run(*addr, *keySeed, *rulesPath, *ownerToken, *lifetime, *needProof, *storeKind, *dirPath, *fsyncBatch, *shards, *peers, *group, *metricsAddr, *pprofOn)
+		err = run(*addr, *keySeed, *rulesPath, *ownerToken, *lifetime, *needProof, *storeKind, *dirPath, *fsyncBatch, *shards, *peers, *group, *groupName, *initialGroups, *metricsAddr, *pprofOn)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smacs-ts:", err)
@@ -117,7 +145,7 @@ func main() {
 // replication flags up front, so a typo exits with a usage message
 // instead of a half-started daemon (the -store/-dir combinations are
 // validated by openCounter).
-func validateFlags(addr, metricsAddr string, shards, fsyncBatch int, replicaOf, peers, group string) error {
+func validateFlags(addr, metricsAddr string, shards, fsyncBatch int, replicaOf, peers, group, groupName, initialGroups string) error {
 	if metricsAddr != "" && metricsAddr == addr {
 		return fmt.Errorf("-metrics-addr %q collides with -addr: the main listener already serves /metrics", metricsAddr)
 	}
@@ -128,8 +156,8 @@ func validateFlags(addr, metricsAddr string, shards, fsyncBatch int, replicaOf, 
 		return fmt.Errorf("-fsync-batch must be ≥ 0, got %d", fsyncBatch)
 	}
 	if replicaOf != "" {
-		if peers != "" || group != "" {
-			return fmt.Errorf("-replica-of runs the quorum protocol server; -peers and -group belong on frontends")
+		if peers != "" || group != "" || groupName != "" {
+			return fmt.Errorf("-replica-of runs the quorum protocol server; -peers, -group, and -group-name belong on frontends")
 		}
 		if metricsAddr != "" {
 			return fmt.Errorf("-metrics-addr is not served in replica mode")
@@ -145,11 +173,55 @@ func validateFlags(addr, metricsAddr string, shards, fsyncBatch int, replicaOf, 
 		if peers == "" {
 			return fmt.Errorf("-group stripes quorum-allocated blocks and requires -peers")
 		}
+		if groupName != "" {
+			return fmt.Errorf("-group (static striping) and -group-name (dynamic membership) are mutually exclusive")
+		}
 		if _, _, err := parseGroup(group); err != nil {
 			return err
 		}
 	}
+	if groupName != "" {
+		if peers == "" {
+			return fmt.Errorf("-group-name runs dynamic membership over a replica quorum and requires -peers")
+		}
+		if initialGroups == "" {
+			return fmt.Errorf("-group-name requires -initial-groups for the bootstrap membership view")
+		}
+		if _, _, err := parseInitialGroups(initialGroups); err != nil {
+			return err
+		}
+	} else if initialGroups != "" {
+		return fmt.Errorf("-initial-groups names the bootstrap membership and requires -group-name")
+	}
 	return nil
+}
+
+// parseInitialGroups parses the "name=url,name=url" bootstrap membership
+// list. Group names come back sorted so independently started frontends
+// derive identical view slots from the same list regardless of entry
+// order — slot positions decide which blocks each group issues.
+func parseInitialGroups(s string) ([]string, map[string]string, error) {
+	urls := make(map[string]string)
+	for _, pair := range splitList(s) {
+		name, url, ok := strings.Cut(pair, "=")
+		name, url = strings.TrimSpace(name), strings.TrimSpace(url)
+		if !ok || name == "" || url == "" {
+			return nil, nil, fmt.Errorf(`-initial-groups entries must look like "name=url", got %q`, pair)
+		}
+		if _, dup := urls[name]; dup {
+			return nil, nil, fmt.Errorf("-initial-groups lists group %q twice", name)
+		}
+		urls[name] = url
+	}
+	if len(urls) == 0 {
+		return nil, nil, fmt.Errorf("-initial-groups is empty")
+	}
+	groups := make([]string, 0, len(urls))
+	for g := range urls {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	return groups, urls, nil
 }
 
 // splitList splits a comma-separated flag value, dropping empty entries.
@@ -179,17 +251,76 @@ func parseGroup(s string) (index, count int, err error) {
 // whole block, so the fsync cost amortizes across 64 issued tokens.
 const counterBlockSize = 64
 
-// openCounter builds the service's one-time index counter. "mem" keeps
-// the default in-memory counter (restart forgets the high-water mark —
-// only safe when contracts' bitmaps are re-deployed too); "file" journals
-// every block lease so a restarted service never re-issues an index;
-// -peers allocates blocks through a majority quorum of counter replicas
-// (durability then lives on the replicas' WALs, not this process),
-// optionally striped by -group so several frontends share the keyspace.
-func openCounter(storeKind, dirPath string, fsyncBatch, shards int, peers, group string) (ts.Counter, error) {
+// counterStack bundles the service's one-time index counter with the
+// hooks the daemon drives around it: startup adoption of leases a
+// previous incarnation released, clean-shutdown lease release, and the
+// membership manager when the frontend runs a dynamic replica group.
+type counterStack struct {
+	counter  ts.Counter
+	sharded  *ts.ShardedCounter
+	reclaims *store.Counter      // reclaim-offer ledger (nil: releases are lost on exit)
+	manager  *membership.Manager // non-nil only with -group-name
+	backend  *store.File         // closed on clean shutdown to flush batched appends
+}
+
+// adoptPending feeds lease remainders a previous incarnation released
+// into the sharded counter's free-list. PendingReclaims journals the
+// adoption before returning, so the ranges re-issue at most once even
+// if this incarnation crashes mid-way.
+func (cs *counterStack) adoptPending() error {
+	if cs.reclaims == nil {
+		return nil
+	}
+	pending, err := cs.reclaims.PendingReclaims()
+	if err != nil {
+		return err
+	}
+	for _, r := range pending {
+		if err := cs.sharded.Adopt([]ts.IndexRange{{From: r.From, To: r.To}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// release drains every unexhausted block-lease remainder and journals
+// it as a reclaim offer, so a clean shutdown strands no one-time
+// indexes: the next incarnation adopts and re-issues the remainders
+// instead of burning the blocks.
+func (cs *counterStack) release() error {
+	ranges := cs.sharded.Release()
+	if len(ranges) == 0 || cs.reclaims == nil {
+		return nil
+	}
+	out := make([]store.IndexRange, len(ranges))
+	for i, r := range ranges {
+		out[i] = store.IndexRange{From: r.From, To: r.To}
+	}
+	return cs.reclaims.ReleaseRanges(out)
+}
+
+func (cs *counterStack) close() error {
+	if cs.backend == nil {
+		return nil
+	}
+	return cs.backend.Close()
+}
+
+// openCounter builds the service's one-time index counter stack. "mem"
+// keeps the default in-memory counter (restart forgets the high-water
+// mark — only safe when contracts' bitmaps are re-deployed too); "file"
+// journals every block lease so a restarted service never re-issues an
+// index; -peers allocates blocks through a majority quorum of counter
+// replicas (durability then lives on the replicas' WALs, not this
+// process), striped either statically by -group or under a dynamic
+// membership view by -group-name.
+func openCounter(storeKind, dirPath string, fsyncBatch, shards int, peers, group, groupName, initialGroups, ownerToken string) (*counterStack, error) {
 	if peers != "" {
+		if groupName != "" {
+			return openMembershipCounter(storeKind, dirPath, fsyncBatch, shards, peers, groupName, initialGroups, ownerToken)
+		}
 		if storeKind != "mem" || dirPath != "" || fsyncBatch != 0 {
-			return nil, fmt.Errorf("-peers moves counter durability to the replicas; drop -store file/-dir/-fsync-batch")
+			return nil, fmt.Errorf("-peers moves counter durability to the replicas; drop -store file/-dir/-fsync-batch (with -group-name, -dir holds only the membership journal)")
 		}
 		coord, err := replicanet.NewCoordinator(splitList(peers), replicanet.Options{})
 		if err != nil {
@@ -205,7 +336,11 @@ func openCounter(storeKind, dirPath string, fsyncBatch, shards int, peers, group
 				return nil, err
 			}
 		}
-		return ts.NewShardedCounter(underlying, shards, counterBlockSize)
+		sc, err := ts.NewShardedCounter(underlying, shards, counterBlockSize)
+		if err != nil {
+			return nil, err
+		}
+		return &counterStack{counter: sc, sharded: sc}, nil
 	}
 	switch storeKind {
 	case "mem":
@@ -216,7 +351,7 @@ func openCounter(storeKind, dirPath string, fsyncBatch, shards int, peers, group
 		if err != nil {
 			return nil, err
 		}
-		return sc, nil
+		return &counterStack{counter: sc, sharded: sc}, nil
 	case "file":
 		if dirPath == "" {
 			return nil, fmt.Errorf("-store file requires -dir")
@@ -236,10 +371,90 @@ func openCounter(storeKind, dirPath string, fsyncBatch, shards int, peers, group
 		if err != nil {
 			return nil, err
 		}
-		return sc, nil
+		cs := &counterStack{counter: sc, sharded: sc, reclaims: c, backend: f}
+		if err := cs.adoptPending(); err != nil {
+			return nil, err
+		}
+		return cs, nil
 	default:
 		return nil, fmt.Errorf("unknown -store %q (supported: mem, file)", storeKind)
 	}
+}
+
+// openMembershipCounter builds the dynamic-membership counter stack: a
+// DynamicStripe over the quorum coordinator, the sharded counter on
+// top, and the membership Manager that serves the view-change protocol.
+// With -dir, dir/membership journals adopted views AND released block
+// leases (snapshots stay disabled there so neither record kind is ever
+// folded away); a restart resumes the last adopted view, not the boot
+// view.
+func openMembershipCounter(storeKind, dirPath string, fsyncBatch, shards int, peers, groupName, initialGroups, ownerToken string) (*counterStack, error) {
+	if storeKind != "mem" {
+		return nil, fmt.Errorf("-group-name keeps counter durability on the replicas; drop -store file (-dir holds the membership journal)")
+	}
+	groups, urls, err := parseInitialGroups(initialGroups)
+	if err != nil {
+		return nil, err
+	}
+	view := ring.View{Epoch: 1, Groups: groups}
+	var baseK int64
+	var journal store.Backend
+	var reclaims *store.Counter
+	var backend *store.File
+	if dirPath != "" {
+		sub := filepath.Join(dirPath, "membership")
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, err
+		}
+		f, err := store.OpenFile(sub, store.FileOptions{FsyncBatch: fsyncBatch})
+		if err != nil {
+			return nil, err
+		}
+		journal, backend = f, f
+		// The file's Replay is single-shot, and the journal has two
+		// readers — replay once and feed both.
+		snap, recs, err := f.Replay()
+		if err != nil {
+			return nil, err
+		}
+		if reclaims, err = store.CounterFrom(f, snap, recs, -1); err != nil {
+			return nil, err
+		}
+		st, ok, err := membership.StateFromRecords(recs)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			view, baseK, urls = st.View, st.BaseK, st.URLs
+		}
+	}
+	coord, err := replicanet.NewCoordinator(splitList(peers), replicanet.Options{})
+	if err != nil {
+		return nil, err
+	}
+	stripe, err := ring.NewDynamicStripe(coord, groupName, view, baseK)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := ts.NewShardedCounter(stripe, shards, counterBlockSize)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := membership.NewManager(membership.Config{
+		Group:      groupName,
+		Stripe:     stripe,
+		Counter:    sc,
+		Journal:    journal,
+		OwnerToken: ownerToken,
+	}, view, urls, baseK)
+	if err != nil {
+		return nil, err
+	}
+	cs := &counterStack{counter: sc, sharded: sc, reclaims: reclaims, manager: mgr, backend: backend}
+	if err := cs.adoptPending(); err != nil {
+		return nil, err
+	}
+	return cs, nil
 }
 
 // runReplica serves the counter quorum protocol on addr: POST
@@ -284,7 +499,7 @@ func runReplica(addr, groupName, storeKind, dirPath string, fsyncBatch int) erro
 	return srv.ListenAndServe()
 }
 
-func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, needProof bool, storeKind, dirPath string, fsyncBatch, shards int, peers, group, metricsAddr string, pprofOn bool) error {
+func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, needProof bool, storeKind, dirPath string, fsyncBatch, shards int, peers, group, groupName, initialGroups, metricsAddr string, pprofOn bool) error {
 	var key *secp256k1.PrivateKey
 	if keySeed != "" {
 		key = secp256k1.PrivateKeyFromSeed([]byte(keySeed))
@@ -307,18 +522,21 @@ func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, ne
 		}
 	}
 
-	counter, err := openCounter(storeKind, dirPath, fsyncBatch, shards, peers, group)
+	cs, err := openCounter(storeKind, dirPath, fsyncBatch, shards, peers, group, groupName, initialGroups, ownerToken)
 	if err != nil {
 		return err
 	}
+	ts.RegisterCounterMetrics(nil, cs.counter)
 
-	svc, err := ts.New(ts.Config{Key: key, Rules: ruleSet, Lifetime: lifetime, RequireProof: needProof, Counter: counter})
+	svc, err := ts.New(ts.Config{Key: key, Rules: ruleSet, Lifetime: lifetime, RequireProof: needProof, Counter: cs.counter})
 	if err != nil {
 		return err
 	}
-	server := tshttp.NewServerWithOptions(svc, ownerToken, tshttp.ServerOptions{
-		Pprof: pprofOn && metricsAddr == "",
-	})
+	opts := tshttp.ServerOptions{Pprof: pprofOn && metricsAddr == ""}
+	if cs.manager != nil {
+		opts.Admin = cs.manager.Handler()
+	}
+	server := tshttp.NewServerWithOptions(svc, ownerToken, opts)
 
 	if metricsAddr != "" {
 		// Bind synchronously so a bad -metrics-addr fails the start, not a
@@ -338,6 +556,10 @@ func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, ne
 	fmt.Printf("  signing address: %s  (preload this into your contracts' verifier)\n", svc.Address())
 	fmt.Printf("  token lifetime:  %s\n", lifetime)
 	switch {
+	case groupName != "":
+		st := cs.manager.State()
+		fmt.Printf("  index counter:   replicated (quorum of %d peers, %d shards; group %q under membership epoch %d of %d groups)\n",
+			len(splitList(peers)), shards, groupName, st.View.Epoch, len(st.View.Groups))
 	case peers != "":
 		fmt.Printf("  index counter:   replicated (quorum of %d peers, %d shards", len(splitList(peers)), shards)
 		if group != "" {
@@ -361,8 +583,35 @@ func run(addr, keySeed, rulesPath, ownerToken string, lifetime time.Duration, ne
 	fmt.Printf("\n")
 	if ownerToken == "" {
 		fmt.Printf("  rule admin:      disabled (set -owner-token to enable)\n")
+		if cs.manager != nil {
+			fmt.Printf("  membership:      endpoints mounted but unreachable without -owner-token\n")
+		}
 	}
-	return http.ListenAndServe(addr, server.Handler())
+
+	// Serve until SIGTERM/SIGINT, then drain in-flight requests and hand
+	// the unexhausted block leases back (journaled as reclaim offers) so
+	// a clean restart re-issues the remainders instead of burning them.
+	srv := &http.Server{Addr: addr, Handler: server.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Printf("smacs-ts: %s — draining requests and releasing block leases\n", sig)
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "smacs-ts: shutdown:", err)
+		}
+		if err := cs.release(); err != nil {
+			_ = cs.close()
+			return fmt.Errorf("release block leases: %w", err)
+		}
+		return cs.close()
+	}
 }
 
 // metricsHandler serves the process-default registry (the one the service,

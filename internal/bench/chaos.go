@@ -33,6 +33,20 @@ const (
 	// ChaosSlow degrades the victim: every forwarded chunk is delayed,
 	// modeling an overloaded or badly-routed replica.
 	ChaosSlow = "slow"
+	// ChaosJoin is a membership fault rather than a network one: a second
+	// replica group joins mid-rush through the live join protocol
+	// (internal/ts/membership), and post-join token traffic round-robins
+	// across both frontends. Issuance must continue through the view
+	// change with exactly the fault-free counts and zero duplicate
+	// one-time indexes.
+	ChaosJoin = "join"
+	// ChaosFrontendCrash abandons the frontend's coordinator and sharded
+	// counter mid-rush (the crash) and performs an epoch-fenced takeover:
+	// a fresh coordinator fences a higher epoch over the same replicas
+	// and a fresh sharded counter resumes issuance above the majority
+	// frontier. The crashed incarnation's unexhausted remainders are
+	// burned — bounded by one frontend's max spread — and never reissued.
+	ChaosFrontendCrash = "frontend-crash"
 )
 
 // chaosReplicas is the replica-group size of chaos scenarios: the
@@ -48,7 +62,16 @@ type chaosGroup struct {
 	servers  []*replicanet.Server
 	backends []*store.File
 	proxies  []*nettest.Proxy
+	urls     []string
 	coord    *replicanet.Coordinator
+
+	// fire, when set, is the membership action (group join or epoch-fenced
+	// takeover) the fault scheduler runs at the inject threshold instead
+	// of a proxy fault; fireErr records its failure for the post-run
+	// check — the scheduler goroutine has nowhere else to report it.
+	fireMu  sync.Mutex
+	fire    func() error
+	fireErr error
 }
 
 // startChaosGroup stands the replica group up. Replica WALs live under
@@ -56,10 +79,10 @@ type chaosGroup struct {
 // temp dir is removed on Close).
 func startChaosGroup(cfg ScenarioConfig, run E2EConfig) (*chaosGroup, error) {
 	switch cfg.Chaos {
-	case ChaosKill, ChaosPartition, ChaosSlow:
+	case ChaosKill, ChaosPartition, ChaosSlow, ChaosJoin, ChaosFrontendCrash:
 	default:
-		return nil, fmt.Errorf("unknown chaos fault %q (supported: %s, %s, %s)",
-			cfg.Chaos, ChaosKill, ChaosPartition, ChaosSlow)
+		return nil, fmt.Errorf("unknown chaos fault %q (supported: %s, %s, %s, %s, %s)",
+			cfg.Chaos, ChaosKill, ChaosPartition, ChaosSlow, ChaosJoin, ChaosFrontendCrash)
 	}
 	g := &chaosGroup{}
 	if run.Dir != "" {
@@ -104,6 +127,7 @@ func startChaosGroup(cfg ScenarioConfig, run E2EConfig) (*chaosGroup, error) {
 		g.proxies = append(g.proxies, proxy)
 		urls[i] = proxy.URL()
 	}
+	g.urls = urls
 	coord, err := replicanet.NewCoordinator(urls, replicanet.Options{Timeout: time.Second})
 	if err != nil {
 		g.Close()
@@ -128,8 +152,9 @@ func (g *chaosGroup) Close() {
 	}
 }
 
-// inject applies the scenario's fault to the victim's proxy; heal
-// clears it.
+// inject applies the scenario's fault: a proxy fault on the victim for
+// the network faults, or the armed membership action (join/takeover)
+// for the membership faults — those have no victim and nothing to heal.
 func (g *chaosGroup) inject(fault string, victim int) {
 	p := g.proxies[victim]
 	switch fault {
@@ -140,7 +165,22 @@ func (g *chaosGroup) inject(fault string, victim int) {
 		p.SetPartition(true)
 	case ChaosSlow:
 		p.SetDelay(25 * time.Millisecond)
+	case ChaosJoin, ChaosFrontendCrash:
+		g.fireMu.Lock()
+		if g.fire != nil {
+			g.fireErr = g.fire()
+			g.fire = nil
+		}
+		g.fireMu.Unlock()
 	}
+}
+
+// FireErr reports whether the armed membership action failed when it
+// fired; runScenario fails the row on it after the producers finish.
+func (g *chaosGroup) FireErr() error {
+	g.fireMu.Lock()
+	defer g.fireMu.Unlock()
+	return g.fireErr
 }
 
 func (g *chaosGroup) heal(victim int) { g.proxies[victim].Heal() }

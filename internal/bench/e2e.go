@@ -20,6 +20,7 @@ import (
 	"repro/internal/transform"
 	"repro/internal/ts"
 	"repro/internal/ts/replica"
+	"repro/internal/ts/ring"
 	"repro/internal/tshttp"
 	"repro/internal/types"
 )
@@ -318,9 +319,47 @@ type e2eEnv struct {
 	client        *tshttp.Client // main Token Service
 	expiredClient *tshttp.Client // negative-lifetime frontend (expired attacks)
 
+	// extra are issuing frontends a mid-run membership join added; honest
+	// clients re-resolve their frontend per token batch, round-robining
+	// across the main client and these the moment the join lands.
+	extraMu sync.Mutex
+	extra   []*tshttp.Client
+	rr      int
+
 	agg    *e2eAgg
 	sub    chan *e2eOp
 	tracer *metrics.Tracer // nil unless E2EConfig.Tracer is set
+}
+
+// addClient brings a newly joined frontend into the honest rotation.
+func (e *e2eEnv) addClient(cl *tshttp.Client) {
+	e.extraMu.Lock()
+	defer e.extraMu.Unlock()
+	e.extra = append(e.extra, cl)
+}
+
+// honestClient picks the frontend for one honest token batch: the main
+// client until a join adds more, then round-robin over all of them.
+func (e *e2eEnv) honestClient() *tshttp.Client {
+	e.extraMu.Lock()
+	defer e.extraMu.Unlock()
+	if len(e.extra) == 0 {
+		return e.client
+	}
+	e.rr++
+	if pick := e.rr % (len(e.extra) + 1); pick > 0 {
+		return e.extra[pick-1]
+	}
+	return e.client
+}
+
+// allClients lists every issuing frontend the run used, for the
+// server-stats cross-check.
+func (e *e2eEnv) allClients() []*tshttp.Client {
+	e.extraMu.Lock()
+	defer e.extraMu.Unlock()
+	out := []*tshttp.Client{e.client, e.expiredClient}
+	return append(out, e.extra...)
 }
 
 // shardedCounterShards and shardedCounterBlock configure the one-time
@@ -397,9 +436,14 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 
 	// One-time index counter: sharded, optionally backed by a 3-replica
 	// quorum — in-process (§ VII-B) or, for chaos scenarios, networked
-	// replica processes behind fault-injecting proxies.
+	// replica processes behind fault-injecting proxies. The membership
+	// faults add a layer each: ChaosJoin allocates through an epoch-aware
+	// dynamic stripe so a second group can join mid-rush, and
+	// ChaosFrontendCrash wraps the sharded counter in a switch so the
+	// takeover can swap in a fresh incarnation mid-traffic.
 	var underlying ts.Counter
 	var chaos *chaosGroup
+	var joinStripe *ring.DynamicStripe
 	if cfg.Chaos != "" {
 		if cfg.ReplicatedCounter || cfg.Durable {
 			return E2ERow{}, fmt.Errorf("chaos scenarios bring their own counter backend")
@@ -410,6 +454,14 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 		}
 		defer g.Close()
 		chaos, underlying = g, g.coord
+		if cfg.Chaos == ChaosJoin {
+			joinStripe, err = ring.NewDynamicStripe(g.coord, chaosGroupA,
+				ring.View{Epoch: 1, Groups: []string{chaosGroupA}}, 0)
+			if err != nil {
+				return E2ERow{}, err
+			}
+			underlying = joinStripe
+		}
 	} else if cfg.ReplicatedCounter {
 		cluster, err := replica.NewCluster(3)
 		if err != nil {
@@ -420,6 +472,12 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 	counter, err := ts.NewShardedCounter(underlying, shardedCounterShards, shardedCounterBlock)
 	if err != nil {
 		return E2ERow{}, err
+	}
+	svcCounter := ts.Counter(counter)
+	var crashSwitch *switchCounter
+	if cfg.Chaos == ChaosFrontendCrash {
+		crashSwitch = newSwitchCounter(counter)
+		svcCounter = crashSwitch
 	}
 
 	// Every component of this scenario reports to one isolated registry:
@@ -434,7 +492,7 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 	svc, err := ts.New(ts.Config{
 		Key:          tsKey,
 		Rules:        ruleSet,
-		Counter:      counter,
+		Counter:      svcCounter,
 		RequireProof: cfg.RequireProof,
 		Metrics:      reg,
 	})
@@ -491,7 +549,15 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 		oneTimeTokens += cfg.Clients * cfg.Ops * depth
 	}
 	if oneTimeTokens > 0 {
-		bits := oneTimeTokens + int(counter.MaxSpread()) + e2eBitmapSlack
+		spread := int(counter.MaxSpread())
+		if cfg.Chaos == ChaosJoin || cfg.Chaos == ChaosFrontendCrash {
+			// The membership faults widen the live index window: a second
+			// frontend's in-flight blocks (join), or the crashed
+			// incarnation's burned remainders plus the takeover's fresh
+			// leases (frontend-crash).
+			spread *= 3
+		}
+		bits := oneTimeTokens + spread + e2eBitmapSlack
 		bm, err := core.NewBitmap(bits, 1<<32)
 		if err != nil {
 			return E2ERow{}, err
@@ -537,6 +603,20 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 	// TxBatch transactions, running token-signature prevalidation in the
 	// parallel pool outside the chain mutex.
 	subDone := env.startSubmitter(tsKey.Address())
+
+	// Membership faults need their action armed before the scheduler
+	// starts: the join scenario stands its second frontend up now, the
+	// frontend-crash scenario binds the takeover closure.
+	switch cfg.Chaos {
+	case ChaosJoin:
+		cleanupJoin, err := armJoin(chaos, env, reg, tsKey, ruleSet, cfg, joinStripe, counter)
+		if err != nil {
+			return E2ERow{}, err
+		}
+		defer cleanupJoin()
+	case ChaosFrontendCrash:
+		armFrontendCrash(chaos, crashSwitch)
+	}
 
 	// The chaos fault scheduler watches the aggregate's progress and
 	// fires/heals the fault mid-rush; it stops (healing if necessary)
@@ -593,10 +673,15 @@ func runScenario(cfg ScenarioConfig, run E2EConfig) (E2ERow, error) {
 			return E2ERow{}, err
 		}
 	}
+	if chaos != nil {
+		if err := chaos.FireErr(); err != nil {
+			return E2ERow{}, fmt.Errorf("chaos %s action: %w", cfg.Chaos, err)
+		}
+	}
 
 	// Cross-check the server-side stats over the same HTTP interface the
 	// clients used.
-	for _, cl := range []*tshttp.Client{env.client, env.expiredClient} {
+	for _, cl := range env.allClients() {
 		if cl == nil {
 			continue
 		}
@@ -851,7 +936,10 @@ func (e *e2eEnv) runHonest(key *secp256k1.PrivateKey) error {
 			reads[j] = e.cfg.ReadEvery > 0 && (off+j+1)%e.cfg.ReadEvery == 0
 			reqs = append(reqs, e.opRequests(key.Address(), reads[j])...)
 		}
-		res, err := e.fetchTokens(e.client, key, reqs)
+		// Re-resolve the frontend per batch: once a membership join adds
+		// a second issuing frontend mid-run, honest traffic immediately
+		// starts spreading across the whole group.
+		res, err := e.fetchTokens(e.honestClient(), key, reqs)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/store"
 )
 
 // runScenarioT runs one named scenario at smoke scale and returns its
@@ -97,11 +99,17 @@ func TestE2EDurableRecoversExactly(t *testing.T) {
 	}
 }
 
-// The chaos scenarios are the availability argument run end-to-end: one
+// The chaos scenarios are the availability argument run end-to-end: a
 // replica of the networked counter group is killed / partitioned /
-// degraded mid-rush, and the counts must still be exactly those of a
-// fault-free run. The fault timing and the victim derive from a seed so
-// CI can sweep timings; a failing seed is logged for replay.
+// degraded mid-rush, a second replica group joins through the live
+// membership protocol, or the frontend crashes and an epoch-fenced
+// takeover resumes issuance — and the counts must still be exactly
+// those of a fault-free run. The fault timing and the victim derive
+// from a seed so CI can sweep timings; a failing seed is logged for
+// replay. After each run the replica WALs are audited: every replica
+// must have granted strictly increasing block leases (a repeated or
+// regressed grant would mean a stranded lease was re-issued), and the
+// frontend-crash takeover must have fenced epoch ≥ 2 on a majority.
 //
 //	SMACS_CHAOS_SEED       pins the seed (default: time-derived, logged)
 //	SMACS_CHAOS_ARTIFACTS  copies the replica WALs of a failed run there
@@ -115,7 +123,8 @@ func TestE2EChaosScenariosSeeded(t *testing.T) {
 		seed = v
 	}
 	t.Logf("chaos seed %d (set SMACS_CHAOS_SEED=%d to replay)", seed, seed)
-	for _, name := range []string{"chaos-kill", "chaos-partition", "chaos-slow"} {
+	for _, name := range []string{"chaos-kill", "chaos-partition", "chaos-slow",
+		"chaos-join", "chaos-frontend-crash"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			cfg, err := ScenarioByName(name, true)
@@ -133,6 +142,8 @@ func TestE2EChaosScenariosSeeded(t *testing.T) {
 				t.Errorf("seed %d: %d one-time indexes issued twice", seed, row.Counts.DupOneTimeIndexes)
 			case !row.ChaosFaultInjected:
 				t.Errorf("seed %d: the fault never fired — the run proves nothing", seed)
+			default:
+				auditReplicaWALs(t, filepath.Join(dir, name), cfg.Chaos, seed)
 			}
 			if t.Failed() {
 				if art := os.Getenv("SMACS_CHAOS_ARTIFACTS"); art != "" {
@@ -145,6 +156,59 @@ func TestE2EChaosScenariosSeeded(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// auditReplicaWALs replays every replica's WAL after the run and checks
+// the grant-side safety invariants directly in the durable record:
+// block-lease grants strictly increase per replica (net.Node only
+// journals a grant above its accepted frontier, so a violation means a
+// stranded lease was handed out twice), and an epoch-fenced takeover
+// must have left its promise (epoch ≥ 2) on a majority of replicas.
+func auditReplicaWALs(t *testing.T, groupDir, fault string, seed int64) {
+	t.Helper()
+	fenced := 0
+	for i := 0; i < chaosReplicas; i++ {
+		nodeDir := filepath.Join(groupDir, "replica"+strconv.Itoa(i))
+		f, err := store.OpenFile(nodeDir, store.FileOptions{})
+		if err != nil {
+			t.Errorf("seed %d: audit replica %d: %v", seed, i, err)
+			continue
+		}
+		_, recs, err := f.Replay()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			t.Errorf("seed %d: audit replica %d: %v", seed, i, err)
+			continue
+		}
+		var lastLease, maxEpoch int64
+		grants := 0
+		for _, rec := range recs {
+			switch rec.Kind {
+			case store.KindLease:
+				if rec.Value <= lastLease {
+					t.Errorf("seed %d: replica %d granted lease %d after %d — a stranded lease was re-issued",
+						seed, i, rec.Value, lastLease)
+				}
+				lastLease = rec.Value
+				grants++
+			case store.KindEpoch:
+				if rec.Value > maxEpoch {
+					maxEpoch = rec.Value
+				}
+			}
+		}
+		if grants == 0 {
+			t.Errorf("seed %d: replica %d granted no leases — the WAL audit proves nothing", seed, i)
+		}
+		if maxEpoch >= 2 {
+			fenced++
+		}
+	}
+	if fault == ChaosFrontendCrash && fenced < chaosReplicas/2+1 {
+		t.Errorf("seed %d: takeover epoch fenced on %d/%d replicas, want a majority", seed, fenced, chaosReplicas)
 	}
 }
 

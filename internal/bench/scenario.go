@@ -101,7 +101,7 @@ type ScenarioConfig struct {
 // ScenarioNames lists the shipped scenario profiles in run order.
 func ScenarioNames() []string {
 	return []string{"quickstart", "tokensale", "callchain", "adversarial", "mixed", "durable",
-		"chaos-kill", "chaos-partition", "chaos-slow"}
+		"chaos-kill", "chaos-partition", "chaos-slow", "chaos-join", "chaos-frontend-crash"}
 }
 
 // ScenarioByName returns the named scenario profile at smoke scale (small,
@@ -205,17 +205,26 @@ func ScenarioByName(name string, smoke bool) (ScenarioConfig, error) {
 	case "chaos-slow":
 		return chaosScenario(name, ChaosSlow,
 			"replica degraded mid-rush: every byte through it delayed", pick), nil
+	case "chaos-join":
+		return chaosScenario(name, ChaosJoin,
+			"replica group joins mid-rush: live reshard, traffic spreads across both frontends", pick), nil
+	case "chaos-frontend-crash":
+		return chaosScenario(name, ChaosFrontendCrash,
+			"frontend crashes mid-rush: epoch-fenced takeover resumes issuance, remainders burn", pick), nil
 	default:
 		return ScenarioConfig{}, fmt.Errorf("bench: unknown scenario %q (supported: %s)",
 			name, strings.Join(ScenarioNames(), ", "))
 	}
 }
 
-// chaosScenario is the shared shape of the three chaos profiles: a sale
+// chaosScenario is the shared shape of the chaos profiles: a sale
 // rush of one-time super tokens against the networked replica group,
 // with denied buyers and replay attacks riding along so the envelope
 // pins denial reasons and replay rejections under the fault too. Only
-// the injected fault differs between the three.
+// the injected fault differs — a network fault on one replica
+// (kill/partition/slow) or a membership fault on the frontend layer
+// (join/frontend-crash); either way the correctness counts must match
+// a fault-free run exactly.
 func chaosScenario(name, fault, desc string, pick func(int, int) int) ScenarioConfig {
 	return ScenarioConfig{
 		Name:          name,

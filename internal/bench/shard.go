@@ -46,8 +46,14 @@ type ShardConfig struct {
 	// RTT is the injected one-way per-hop delay on every replica link,
 	// modeling the network between the coordinator and its replicas.
 	RTT time.Duration `json:"rtt"`
+	// Join switches each cell to the live-resharding variant: G groups
+	// serve, and a (G+1)-th joins mid-run through the membership
+	// protocol (see shardjoin.go).
+	Join bool `json:"join,omitempty"`
 	// OnRow observes every completed cell in run order (partial flushing).
 	OnRow func(ShardRow) `json:"-"`
+	// OnJoinRow is OnRow for the live-resharding variant.
+	OnJoinRow func(JoinRow) `json:"-"`
 }
 
 // ShardRow is one cell of the sweep: all clients driving G groups.
@@ -63,10 +69,12 @@ type ShardRow struct {
 	PerGroup []int `json:"perGroup"`
 }
 
-// ShardResult is the full sweep.
+// ShardResult is the full sweep: Rows for the static variant, JoinRows
+// for the live-resharding one.
 type ShardResult struct {
-	Config ShardConfig `json:"config"`
-	Rows   []ShardRow  `json:"rows"`
+	Config   ShardConfig `json:"config"`
+	Rows     []ShardRow  `json:"rows,omitempty"`
+	JoinRows []JoinRow   `json:"joinRows,omitempty"`
 }
 
 // Shard runs the sharded-issuance sweep.
@@ -84,6 +92,17 @@ func Shard(cfg ShardConfig) (*ShardResult, error) {
 	for _, g := range cfg.Groups {
 		if g < 1 {
 			return nil, fmt.Errorf("group count must be ≥ 1, got %d", g)
+		}
+		if cfg.Join {
+			row, err := runJoinCell(cfg, g)
+			if err != nil {
+				return nil, fmt.Errorf("live-resharding sweep, %d groups: %w", g, err)
+			}
+			res.JoinRows = append(res.JoinRows, row)
+			if cfg.OnJoinRow != nil {
+				cfg.OnJoinRow(row)
+			}
+			continue
 		}
 		row, err := runShardCell(cfg, g)
 		if err != nil {
@@ -260,8 +279,11 @@ func runShardCell(cfg ShardConfig, groups int) (ShardRow, error) {
 }
 
 // Format renders the sweep as the sharded-issuance scaling table of
-// docs/BENCHMARKS.md.
+// docs/BENCHMARKS.md (or the live-resharding table for -join runs).
 func (r *ShardResult) Format() string {
+	if r.Config.Join {
+		return r.FormatJoin()
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sharded issuance scaling: %d clients × %d one-time tokens, %s injected per replica hop\n",
 		r.Config.Clients, r.Config.Ops, r.Config.RTT)
@@ -281,6 +303,15 @@ func (r *ShardResult) Format() string {
 // CSV renders the sweep machine-readably.
 func (r *ShardResult) CSV() string {
 	var b strings.Builder
+	if r.Config.Join {
+		b.WriteString("groups,clients,ops_per_client,tokens,seconds,tokens_per_sec,before_per_sec,during_per_sec,after_per_sec,join_millis,moved_fraction,joiner_tokens\n")
+		for _, row := range r.JoinRows {
+			fmt.Fprintf(&b, "%d,%d,%d,%d,%.3f,%.1f,%.1f,%.1f,%.1f,%.1f,%.4f,%d\n",
+				row.Groups, row.Clients, row.OpsPerClient, row.Tokens, row.Seconds, row.TokensPerSec,
+				row.BeforePerSec, row.DuringPerSec, row.AfterPerSec, row.JoinMillis, row.MovedFraction, row.JoinerTokens)
+		}
+		return b.String()
+	}
 	b.WriteString("groups,clients,ops_per_client,tokens,seconds,tokens_per_sec\n")
 	for _, row := range r.Rows {
 		fmt.Fprintf(&b, "%d,%d,%d,%d,%.3f,%.1f\n",

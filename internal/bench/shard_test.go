@@ -56,6 +56,56 @@ func TestShardSweepIssuesExactlyAndSplits(t *testing.T) {
 	}
 }
 
+// The live-resharding cell must complete the join mid-run (epoch 2,
+// ≈1/(G+1) of the keyspace moved), lose and duplicate nothing across the
+// view change, and account every token to a group — including any the
+// joiner issued after admission. Its uniqueness/loss audit lives inside
+// runJoinCell and fails the sweep.
+func TestShardJoinCellReshardsLive(t *testing.T) {
+	var seen []JoinRow
+	res, err := Shard(ShardConfig{
+		Groups:     []int{1},
+		Clients:    8,
+		Ops:        30,
+		TokenBatch: 5,
+		Join:       true,
+		OnJoinRow:  func(r JoinRow) { seen = append(seen, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.JoinRows) != 1 || len(seen) != 1 || len(res.Rows) != 0 {
+		t.Fatalf("joinRows = %d, OnJoinRow calls = %d, rows = %d; want 1, 1, 0",
+			len(res.JoinRows), len(seen), len(res.Rows))
+	}
+	row := res.JoinRows[0]
+	t.Logf("join row: %+v", row)
+	if row.Tokens != 8*30 {
+		t.Errorf("%d tokens, want %d", row.Tokens, 8*30)
+	}
+	if len(row.PerGroup) != 2 {
+		t.Fatalf("per-group split has %d entries, want 2 (initial + joiner)", len(row.PerGroup))
+	}
+	if sum := row.PerGroup[0] + row.PerGroup[1]; sum != row.Tokens {
+		t.Errorf("per-group split sums to %d, not %d", sum, row.Tokens)
+	}
+	// One group → two: consistent hashing moves about half the keyspace.
+	if row.MovedFraction <= 0 || row.MovedFraction >= 1 {
+		t.Errorf("moved fraction = %v, want in (0, 1)", row.MovedFraction)
+	}
+	// 8 clients re-resolving per batch over a ~50% moved keyspace: the
+	// joiner must have served part of the remaining rush.
+	if row.JoinerTokens == 0 {
+		t.Error("the joined group issued no tokens — the reshard never took effect")
+	}
+	if !strings.Contains(res.Format(), "membership change") {
+		t.Errorf("Format missing the audit note:\n%s", res.Format())
+	}
+	if lines := strings.Split(strings.TrimSpace(res.CSV()), "\n"); len(lines) != 2 {
+		t.Errorf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+}
+
 func TestShardSweepRejectsBadConfig(t *testing.T) {
 	if _, err := Shard(ShardConfig{Clients: 0, Ops: 5}); err == nil {
 		t.Error("zero clients accepted")

@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nettest"
+	"repro/internal/rules"
+	"repro/internal/secp256k1"
+	"repro/internal/ts"
+	"repro/internal/ts/membership"
+	replicanet "repro/internal/ts/replica/net"
+	"repro/internal/ts/ring"
+	"repro/internal/tshttp"
+)
+
+// The live-resharding cell (-mode shard -join) measures what a
+// membership change costs under load: clients drive G replica groups
+// exactly like the static sweep, and once half the tokens are out a
+// (G+1)-th group joins through the live membership protocol
+// (internal/ts/membership) — freeze every member, advance to the
+// epoch-2 view, resume. Clients re-resolve their group on every batch,
+// so traffic starts spreading onto the joiner the moment the ring
+// admits it. The row reports the issuance rate before, during, and
+// after the change (the "during" window is the freeze pause — the
+// availability cost of a join), and the audit demands that not one
+// index is lost or duplicated across the change.
+
+// JoinRow is one live-resharding cell: all clients driving G groups
+// with a (G+1)-th joining mid-run.
+type JoinRow struct {
+	Groups       int     `json:"groups"` // before the join
+	Clients      int     `json:"clients"`
+	OpsPerClient int     `json:"opsPerClient"`
+	Tokens       int     `json:"tokens"`
+	Seconds      float64 `json:"seconds"`
+	TokensPerSec float64 `json:"tokensPerSec"`
+	// BeforePerSec, DuringPerSec, and AfterPerSec split the run's
+	// issuance rate around the membership change: steady state under G
+	// groups, the freeze→advance→resume window, and steady state under
+	// G+1 groups.
+	BeforePerSec float64 `json:"beforePerSec"`
+	DuringPerSec float64 `json:"duringPerSec"`
+	AfterPerSec  float64 `json:"afterPerSec"`
+	// JoinMillis is the wall time of the whole membership change — the
+	// upper bound on how long any frontend's allocations were paused.
+	JoinMillis float64 `json:"joinMillis"`
+	// MovedFraction is the keyspace share the change handed to the
+	// joiner, from the exact rebalance plan (≈ 1/(G+1)).
+	MovedFraction float64 `json:"movedFraction"`
+	// JoinerTokens is how many tokens the joined group issued after
+	// admission (how much of the remaining rush the reshard moved).
+	JoinerTokens int `json:"joinerTokens"`
+	// PerGroup is the final split across all G+1 groups.
+	PerGroup []int `json:"perGroup"`
+}
+
+// joinStack is one replica group's full frontend stack for the cell.
+type joinStack struct {
+	name   string
+	mgr    *membership.Manager
+	mgrURL string
+	client *tshttp.Client
+}
+
+// runJoinCell builds G serving groups plus one standby joiner and runs
+// the cell. Every group is an independent 3-replica quorum behind -rtt
+// delay proxies, allocating through an epoch-aware DynamicStripe.
+func runJoinCell(cfg ShardConfig, groups int) (JoinRow, error) {
+	var cleanups []func()
+	defer func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}()
+
+	tsKey := secp256k1.PrivateKeyFromSeed([]byte("shard sweep ts key"))
+	clients := make([]*secp256k1.PrivateKey, cfg.Clients)
+	allowed := rules.NewList(rules.Whitelist)
+	for i := range clients {
+		clients[i] = secp256k1.PrivateKeyFromSeed([]byte(fmt.Sprintf("shard sweep client %d", i)))
+		allowed.Add(core.ValueKey(clients[i].Address()))
+	}
+	ruleSet := rules.NewRuleSet()
+	ruleSet.SetSenderList(allowed)
+	target := secp256k1.PrivateKeyFromSeed([]byte("shard sweep target")).Address()
+
+	// The boot view holds the G initial groups; the joiner is built like
+	// any member but is absent from the view (and the routing ring) until
+	// the join admits it.
+	names := make([]string, groups+1)
+	for g := range names {
+		names[g] = fmt.Sprintf("group-%d", g)
+	}
+	joiner := names[groups]
+	bootView := ring.View{Epoch: 1, Groups: names[:groups]}
+
+	// Pre-bind every manager listener so the URL map exists before any
+	// manager is built (the advance propagates the full map).
+	listeners := make([]net.Listener, groups+1)
+	mgrURLs := make(map[string]string, groups)
+	for g := range names {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return JoinRow{}, err
+		}
+		cleanups = append(cleanups, func() { _ = ln.Close() })
+		listeners[g] = ln
+		if g < groups {
+			mgrURLs[names[g]] = "http://" + ln.Addr().String()
+		}
+	}
+
+	reg := metrics.NewRegistry()
+	stacks := make([]joinStack, groups+1)
+	for g, name := range names {
+		urls := make([]string, shardReplicas)
+		for i := 0; i < shardReplicas; i++ {
+			srv, err := replicanet.Serve(replicanet.NewNode(), "127.0.0.1:0")
+			if err != nil {
+				return JoinRow{}, err
+			}
+			cleanups = append(cleanups, func() { _ = srv.Close() })
+			proxy, err := nettest.NewProxy(srv.Addr())
+			if err != nil {
+				return JoinRow{}, err
+			}
+			cleanups = append(cleanups, func() { _ = proxy.Close() })
+			proxy.SetDelay(cfg.RTT)
+			urls[i] = proxy.URL()
+		}
+		coord, err := replicanet.NewCoordinator(urls, replicanet.Options{})
+		if err != nil {
+			return JoinRow{}, err
+		}
+		stripe, err := ring.NewDynamicStripe(coord, name, bootView, 0)
+		if err != nil {
+			return JoinRow{}, err
+		}
+		sharded, err := ts.NewShardedCounter(stripe, shardedCounterShards, shardedCounterBlock)
+		if err != nil {
+			return JoinRow{}, err
+		}
+		mgr, err := membership.NewManager(membership.Config{
+			Group:   name,
+			Stripe:  stripe,
+			Counter: sharded,
+		}, bootView, mgrURLs, 0)
+		if err != nil {
+			return JoinRow{}, err
+		}
+		msrv := &http.Server{Handler: mgr.Handler()}
+		go func(ln net.Listener) { _ = msrv.Serve(ln) }(listeners[g])
+		cleanups = append(cleanups, func() { _ = msrv.Close() })
+		svc, err := ts.New(ts.Config{Key: tsKey, Rules: ruleSet, Counter: sharded, Metrics: reg})
+		if err != nil {
+			return JoinRow{}, err
+		}
+		base, stop, err := startServer(svc, reg)
+		if err != nil {
+			return JoinRow{}, err
+		}
+		cleanups = append(cleanups, stop)
+		stacks[g] = joinStack{
+			name:   name,
+			mgr:    mgr,
+			mgrURL: "http://" + listeners[g].Addr().String(),
+			client: tshttp.NewClient(base, ""),
+		}
+	}
+	clientByGroup := make(map[string]*tshttp.Client, groups+1)
+	for _, s := range stacks {
+		clientByGroup[s.name] = s.client
+	}
+
+	// The routing ring serves G groups now and admits the joiner the
+	// instant the membership change lands; Ring is internally locked, so
+	// clients resolve concurrently with the Add.
+	r := ring.New(0)
+	for _, name := range names[:groups] {
+		r.Add(name)
+	}
+
+	// The trigger: once half the tokens are out, group-0's manager runs
+	// the join. The issued counter both paces the trigger and timestamps
+	// the before/during/after windows.
+	var issued atomic.Int64
+	total := cfg.Clients * cfg.Ops
+	type joinMark struct {
+		fireAt   time.Duration // run time when the join started
+		doneAt   time.Duration // run time when it completed
+		fireSeen int64         // tokens out when it started
+		doneSeen int64         // tokens out when it completed
+		moved    float64
+		err      error
+	}
+	var mark joinMark
+	fired := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(fired)
+		for int(issued.Load()) < total/2 {
+			time.Sleep(time.Millisecond)
+		}
+		mark.fireAt, mark.fireSeen = time.Since(start), issued.Load()
+		res, err := stacks[0].mgr.Join(joiner, stacks[groups].mgrURL)
+		mark.doneAt, mark.doneSeen = time.Since(start), issued.Load()
+		if err != nil {
+			mark.err = fmt.Errorf("join %s: %w", joiner, err)
+			return
+		}
+		mark.moved = res.Plan.MovedFraction
+		r.Add(joiner)
+	}()
+
+	type clientOut struct {
+		indexes []int64
+		groups  map[string]int
+		err     error
+	}
+	outs := make([]clientOut, cfg.Clients)
+	var wg sync.WaitGroup
+	for i, key := range clients {
+		wg.Add(1)
+		go func(i int, key *secp256k1.PrivateKey) {
+			defer wg.Done()
+			indexes := make([]int64, 0, cfg.Ops)
+			byGroup := make(map[string]int, 2)
+			for off := 0; off < cfg.Ops; off += cfg.TokenBatch {
+				if off > 0 && (off >= cfg.Ops*3/4 || off+cfg.TokenBatch >= cfg.Ops) {
+					// The rush must outlast the change: each client holds
+					// its last quarter of batches — at minimum its final
+					// batch — until the join has landed, so the post-join
+					// window always sees traffic (at real scale the join
+					// finishes long before any client gets here and the
+					// gate is a no-op).
+					<-fired
+				}
+				// Re-resolve the group per batch: the join lands between
+				// batches, not between a client's first and last token.
+				name, err := r.Get(key.Address().Bytes())
+				if err != nil {
+					outs[i].err = err
+					return
+				}
+				cl := clientByGroup[name]
+				n := min(cfg.TokenBatch, cfg.Ops-off)
+				reqs := make([]*core.Request, n)
+				for j := range reqs {
+					reqs[j] = &core.Request{
+						Type:     core.SuperType,
+						Contract: target,
+						Sender:   key.Address(),
+						OneTime:  true,
+					}
+				}
+				res, err := cl.RequestTokens(reqs)
+				if err != nil {
+					outs[i].err = err
+					return
+				}
+				for _, r := range res {
+					if r.Err != nil {
+						outs[i].err = fmt.Errorf("unexpected denial: %w", r.Err)
+						return
+					}
+					if !r.Token.OneTime() {
+						outs[i].err = fmt.Errorf("token issued without a one-time index")
+						return
+					}
+					indexes = append(indexes, r.Token.Index)
+				}
+				byGroup[name] += n
+				issued.Add(int64(n))
+			}
+			outs[i].indexes = indexes
+			outs[i].groups = byGroup
+		}(i, key)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	<-fired
+	if mark.err != nil {
+		return JoinRow{}, mark.err
+	}
+
+	// Zero lost and zero duplicated indexes across the view change:
+	// every request produced a token, and no index repeats anywhere.
+	seen := make(map[int64]bool, total)
+	perGroup := make([]int, groups+1)
+	got := 0
+	for _, out := range outs {
+		if out.err != nil {
+			return JoinRow{}, out.err
+		}
+		for _, idx := range out.indexes {
+			if seen[idx] {
+				return JoinRow{}, fmt.Errorf("one-time index %d issued twice across the join", idx)
+			}
+			seen[idx] = true
+		}
+		for g, name := range names {
+			perGroup[g] += out.groups[name]
+		}
+		got += len(out.indexes)
+	}
+	if got != total {
+		return JoinRow{}, fmt.Errorf("%d tokens issued, want %d — indexes lost across the join", got, total)
+	}
+
+	rate := func(tokens int64, dur time.Duration) float64 {
+		if dur <= 0 {
+			return 0
+		}
+		return float64(tokens) / dur.Seconds()
+	}
+	return JoinRow{
+		Groups:        groups,
+		Clients:       cfg.Clients,
+		OpsPerClient:  cfg.Ops,
+		Tokens:        got,
+		Seconds:       elapsed.Seconds(),
+		TokensPerSec:  float64(got) / elapsed.Seconds(),
+		BeforePerSec:  rate(mark.fireSeen, mark.fireAt),
+		DuringPerSec:  rate(mark.doneSeen-mark.fireSeen, mark.doneAt-mark.fireAt),
+		AfterPerSec:   rate(int64(got)-mark.doneSeen, elapsed-mark.doneAt),
+		JoinMillis:    float64((mark.doneAt - mark.fireAt).Milliseconds()),
+		MovedFraction: mark.moved,
+		JoinerTokens:  perGroup[groups],
+		PerGroup:      perGroup,
+	}, nil
+}
+
+// FormatJoin renders the live-resharding sweep as the table of
+// docs/BENCHMARKS.md.
+func (r *ShardResult) FormatJoin() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Live resharding: %d clients × %d one-time tokens, %s injected per replica hop; a group joins mid-run\n",
+		r.Config.Clients, r.Config.Ops, r.Config.RTT)
+	fmt.Fprintf(&b, "  %-7s %8s %10s %10s %10s %10s %8s %7s   %s\n",
+		"groups", "tokens", "before/s", "during/s", "after/s", "overall/s", "join ms", "moved", "per-group split")
+	for _, row := range r.JoinRows {
+		split := make([]string, len(row.PerGroup))
+		for i, n := range row.PerGroup {
+			split[i] = fmt.Sprintf("%d", n)
+		}
+		fmt.Fprintf(&b, "  %-7s %8d %10.1f %10.1f %10.1f %10.1f %8.1f %6.1f%%   %s\n",
+			fmt.Sprintf("%d→%d", row.Groups, row.Groups+1), row.Tokens,
+			row.BeforePerSec, row.DuringPerSec, row.AfterPerSec, row.TokensPerSec,
+			row.JoinMillis, 100*row.MovedFraction, strings.Join(split, "/"))
+	}
+	b.WriteString("Every index audited unique and none lost across the membership change.\n")
+	return b.String()
+}

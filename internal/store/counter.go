@@ -29,6 +29,16 @@ type Counter struct {
 	// snapshots its high-water mark and rotates the log. 0 uses
 	// DefaultCounterSnapshotEvery; negative disables snapshots.
 	snapshotEvery int
+	// pending holds reclaimed-but-not-adopted index ranges found during
+	// replay, consumed (exactly once) by PendingReclaims.
+	pending []IndexRange
+}
+
+// IndexRange is an inclusive range of one-time indexes released back to
+// the store by a cleanly shutting-down frontend.
+type IndexRange struct {
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
 }
 
 // DefaultCounterSnapshotEvery is the lease count between counter
@@ -59,12 +69,91 @@ func CounterFrom(b Backend, snapshot []byte, recs []Record, snapshotEvery int) (
 		}
 		c.next = int64(binary.BigEndian.Uint64(snapshot))
 	}
+	// Pending reclaim accounting: a range is offerable when a KindReclaim
+	// for it is durable and no KindAdopt has consumed it. Both kinds use
+	// the same encoding, so matching is exact by (from, to). Ranges whose
+	// records were folded into a snapshot are burned — the safe direction.
+	adopted := make(map[IndexRange]int)
 	for _, rec := range recs {
-		if rec.Kind == KindLease && rec.Value > c.next {
-			c.next = rec.Value
+		switch rec.Kind {
+		case KindLease:
+			if rec.Value > c.next {
+				c.next = rec.Value
+			}
+		case KindAdopt:
+			if r, err := decodeRange(rec); err == nil {
+				adopted[r]++
+			}
 		}
 	}
+	for _, rec := range recs {
+		if rec.Kind != KindReclaim {
+			continue
+		}
+		r, err := decodeRange(rec)
+		if err != nil {
+			return nil, fmt.Errorf("store: corrupt reclaim record: %w", err)
+		}
+		if adopted[r] > 0 {
+			adopted[r]--
+			continue
+		}
+		c.pending = append(c.pending, r)
+	}
 	return c, nil
+}
+
+func decodeRange(rec Record) (IndexRange, error) {
+	if len(rec.Data) != 8 {
+		return IndexRange{}, fmt.Errorf("range payload must be 8 bytes, got %d", len(rec.Data))
+	}
+	r := IndexRange{From: rec.Value, To: int64(binary.BigEndian.Uint64(rec.Data))}
+	if r.From < 1 || r.To < r.From {
+		return IndexRange{}, fmt.Errorf("invalid range [%d,%d]", r.From, r.To)
+	}
+	return r, nil
+}
+
+func encodeRange(kind RecordKind, r IndexRange) Record {
+	data := make([]byte, 8)
+	binary.BigEndian.PutUint64(data, uint64(r.To))
+	return Record{Kind: kind, Value: r.From, Data: data}
+}
+
+// ReleaseRanges durably records inclusive index ranges handed back by a
+// cleanly shutting-down frontend (the unexhausted remainders of its
+// block leases). The ranges become offerable to the next incarnation via
+// PendingReclaims; until one adopts them, replay keeps offering, and a
+// crash right after this call at worst burns them.
+func (c *Counter) ReleaseRanges(ranges []IndexRange) error {
+	for _, r := range ranges {
+		if r.From < 1 || r.To < r.From {
+			return fmt.Errorf("store: invalid release range [%d,%d]", r.From, r.To)
+		}
+		if err := c.b.Append(encodeRange(KindReclaim, r)); err != nil {
+			return fmt.Errorf("store: persist reclaim [%d,%d]: %w", r.From, r.To, err)
+		}
+	}
+	return nil
+}
+
+// PendingReclaims adopts and returns the index ranges a previous
+// incarnation released. The KindAdopt record for every range is durable
+// BEFORE the range is returned, so the caller may re-issue its indexes
+// immediately: a crash at any later point replays reclaim+adopt and
+// offers nothing again. Calling it twice returns ranges released (and
+// replayed) since the first call — normally none.
+func (c *Counter) PendingReclaims() ([]IndexRange, error) {
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, r := range pending {
+		if err := c.b.Append(encodeRange(KindAdopt, r)); err != nil {
+			return nil, fmt.Errorf("store: persist adopt [%d,%d]: %w", r.From, r.To, err)
+		}
+	}
+	return pending, nil
 }
 
 // Last returns the highest index handed out so far (0 before the first

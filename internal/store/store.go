@@ -47,6 +47,24 @@ const (
 	// across a replica restart — a rejoined replica still rejects
 	// proposals from coordinators it already promised away from.
 	KindEpoch
+	// KindView records an adopted replica-group membership view: Value is
+	// the view epoch, Data the JSON-encoded view state (group set,
+	// watermark, adopted base sequence, frontend URLs). A frontend replays
+	// the highest-epoch view at startup so a restart resumes under the
+	// membership it last served, not the one it booted with.
+	KindView
+	// KindReclaim records an inclusive range of one-time indexes released
+	// back by a cleanly shutting-down frontend (unexhausted block-lease
+	// remainders): Value is the range start, Data the 8-byte big-endian
+	// range end. A reclaim is an offer, not a grant — the range may be
+	// re-issued only after a KindAdopt for it is durable.
+	KindReclaim
+	// KindAdopt marks a previously reclaimed range as re-leased to the
+	// current incarnation (same encoding as KindReclaim). Persisting the
+	// adoption BEFORE any index of the range is re-issued keeps recovery
+	// at-most-once: a crash after adoption burns the range (replay sees
+	// reclaim+adopt and offers nothing), it never offers it twice.
+	KindAdopt
 	// kindEnd is one past the last valid kind.
 	kindEnd
 )

@@ -408,3 +408,88 @@ func TestSnapshotFileAtomicity(t *testing.T) {
 		t.Fatalf("replayed snapshot %q, want the last valid one", snap)
 	}
 }
+
+// TestCounterReclaimCycle drives the release → adopt lease-reclamation
+// protocol across three incarnations of a file-backed counter: released
+// ranges are offered exactly once, adoption is durable before the ranges
+// are returned, and a crash after adoption burns (never re-offers) them.
+func TestCounterReclaimCycle(t *testing.T) {
+	dir := t.TempDir()
+
+	// Incarnation 1: lease some blocks, release two remainder ranges on
+	// the way down (as the frontend's SIGTERM path does).
+	f, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCounter(f, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	released := []IndexRange{{From: 10, To: 64}, {From: 100, To: 128}}
+	if err := c.ReleaseRanges(released); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incarnation 2: the ranges are pending exactly as released, and the
+	// counter still resumes above every lease.
+	f2, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCounter(f2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Last(); got != 5 {
+		t.Fatalf("Last = %d, want 5", got)
+	}
+	got, err := c2.PendingReclaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != released[0] || got[1] != released[1] {
+		t.Fatalf("pending = %+v, want %+v", got, released)
+	}
+	// Second call in the same incarnation: nothing left to offer.
+	again, err := c2.PendingReclaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second PendingReclaims = %+v, want empty", again)
+	}
+	// Simulated crash: no Close, no re-release.
+	_ = f2.Close()
+
+	// Incarnation 3: the adopt records are durable, so the ranges must
+	// not be offered again (re-offering would double-issue indexes the
+	// crashed incarnation may already have handed out).
+	f3, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	c3, err := OpenCounter(f3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := c3.PendingReclaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 0 {
+		t.Fatalf("crashed adopter's ranges re-offered: %+v", after)
+	}
+	if err := c3.ReleaseRanges([]IndexRange{{From: 0, To: 3}}); err == nil {
+		t.Fatal("invalid range accepted")
+	}
+}

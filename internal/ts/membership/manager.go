@@ -1,0 +1,493 @@
+package membership
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/ts"
+	"repro/internal/ts/ring"
+)
+
+// Config wires a Manager to its frontend's counter stack.
+type Config struct {
+	// Group is this frontend's replica-group name.
+	Group string
+	// Stripe is the frontend's epoch-aware block mapper (over the
+	// group's quorum coordinator).
+	Stripe *ring.DynamicStripe
+	// Counter is the frontend's sharded counter (over Stripe), the
+	// holder of the block leases a drain releases.
+	Counter *ts.ShardedCounter
+	// Journal persists adopted views as KindView WAL records (nil =
+	// volatile membership, for tests and benches).
+	Journal store.Backend
+	// Registry receives the ts_membership_epoch gauge (nil = default).
+	Registry *metrics.Registry
+	// OwnerToken, when set, is sent as a Bearer token on member calls to
+	// other frontends (whose /v1/membership routes sit behind the same
+	// owner guard as this one's).
+	OwnerToken string
+	// Client overrides the HTTP client used for member calls.
+	Client *http.Client
+}
+
+// Manager is one frontend's membership agent: it serves the member
+// endpoints a view change drives, tracks the adopted view and the
+// frontend URL map, and can act as the controller for join/drain
+// operations. One Manager per frontend.
+type Manager struct {
+	cfg   Config
+	gauge *metrics.Gauge
+
+	// opMu serializes controller operations started on this frontend;
+	// concurrent controllers on different frontends are resolved by
+	// epoch conflict (one advance fails, the operator retries).
+	opMu sync.Mutex
+
+	mu    sync.Mutex
+	view  ring.View
+	urls  map[string]string
+	baseK int64
+}
+
+// NewManager builds the frontend's membership agent from its boot state
+// (either the -initial-groups flag or a persisted State replayed via
+// LoadState). urls must map every group in v — plus this frontend's own
+// group, even when it is still joining and not yet a member.
+func NewManager(cfg Config, v ring.View, urls map[string]string, baseK int64) (*Manager, error) {
+	if cfg.Group == "" {
+		return nil, fmt.Errorf("membership: config needs a group name")
+	}
+	if cfg.Stripe == nil || cfg.Counter == nil {
+		return nil, fmt.Errorf("membership: config needs the stripe and sharded counter")
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	for _, g := range v.Groups {
+		if urls[g] == "" {
+			return nil, fmt.Errorf("membership: no frontend URL for group %q", g)
+		}
+	}
+	m := &Manager{
+		cfg:   cfg,
+		gauge: metrics.Or(cfg.Registry).Gauge(ts.MetricMembershipEpoch, "Replica-group membership view epoch in effect (0 = static membership)."),
+		view:  v,
+		urls:  copyURLs(urls),
+		baseK: baseK,
+	}
+	m.gauge.Set(v.Epoch)
+	return m, nil
+}
+
+func copyURLs(urls map[string]string) map[string]string {
+	out := make(map[string]string, len(urls))
+	for g, u := range urls {
+		out[g] = u
+	}
+	return out
+}
+
+// View returns the currently adopted view.
+func (m *Manager) View() ring.View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view
+}
+
+// State returns the full durable state (view, adopted base, URL map).
+func (m *Manager) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return State{View: m.view, BaseK: m.baseK, URLs: copyURLs(m.urls)}
+}
+
+// local is the in-process Member for this frontend's own group.
+type local struct{ m *Manager }
+
+func (l local) Group() string { return l.m.cfg.Group }
+
+func (l local) Freeze() (int64, error) { return l.m.cfg.Stripe.Freeze(), nil }
+
+func (l local) Advance(v ring.View, urls map[string]string) error {
+	m := l.m
+	m.mu.Lock()
+	cur := m.view
+	m.mu.Unlock()
+	var baseK int64
+	if v.Epoch == cur.Epoch && sameView(v, cur) {
+		// Idempotent re-advance: a retried change finds this member
+		// already on the target view; persist-before-ack already
+		// happened, so just ack.
+		m.mu.Lock()
+		baseK = m.baseK
+		m.mu.Unlock()
+	} else {
+		var err error
+		baseK, err = m.cfg.Stripe.Advance(v)
+		if err != nil {
+			return err
+		}
+	}
+	st := State{View: v, BaseK: baseK, URLs: urls}
+	if err := persistState(m.cfg.Journal, st); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.view, m.baseK, m.urls = v, baseK, copyURLs(urls)
+	m.mu.Unlock()
+	m.gauge.Set(v.Epoch)
+	return nil
+}
+
+func sameView(a, b ring.View) bool {
+	if a.Epoch != b.Epoch || a.Watermark != b.Watermark || len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	for i := range a.Groups {
+		if a.Groups[i] != b.Groups[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (l local) Resume() error {
+	l.m.cfg.Stripe.Resume()
+	return nil
+}
+
+func (l local) ReleaseLeases() ([]ts.IndexRange, error) {
+	return l.m.cfg.Counter.Release(), nil
+}
+
+func (l local) AdoptLeases(ranges []ts.IndexRange) error {
+	return l.m.cfg.Counter.Adopt(ranges)
+}
+
+// memberFor resolves a group to its Member handle: in-process for this
+// frontend's own group, HTTP for everyone else.
+func (m *Manager) memberFor(group, url string) Member {
+	if group == m.cfg.Group {
+		return local{m}
+	}
+	return &Remote{GroupName: group, Base: url, OwnerToken: m.cfg.OwnerToken, Client: m.cfg.Client}
+}
+
+// ChangeResult is what an admin join/drain returns: the adopted view and
+// the keyspace rebalance plan the change implies.
+type ChangeResult struct {
+	View ring.View  `json:"view"`
+	Plan *ring.Plan `json:"plan"`
+	// LeasesMoved counts one-time indexes handed from the drained group
+	// to its successor (0 for joins).
+	LeasesMoved int64 `json:"leasesMoved"`
+	// Successor is the group that adopted the drained leases, chosen as
+	// the plan's largest transfer target ("" for joins).
+	Successor string `json:"successor,omitempty"`
+}
+
+// Join runs the controller side of adding a replica group: freeze every
+// member plus the joiner, advance all of them to the epoch+1 view whose
+// watermark caps every block allocated so far, and resume. The joiner
+// serves only after its advance — recording its epoch base runs a full
+// quorum round (catch-up fencing), so it can never map a block at or
+// below one an earlier coordinator handed out.
+func (m *Manager) Join(group, url string) (*ChangeResult, error) {
+	if group == "" || url == "" {
+		return nil, fmt.Errorf("membership: join needs a group name and a frontend URL")
+	}
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+
+	m.mu.Lock()
+	cur := m.view
+	urls := copyURLs(m.urls)
+	m.mu.Unlock()
+	if cur.Slot(group) >= 0 {
+		return nil, fmt.Errorf("membership: group %q is already a member of view %d", group, cur.Epoch)
+	}
+
+	members := make([]Member, 0, len(cur.Groups)+1)
+	for _, g := range cur.Groups {
+		members = append(members, m.memberFor(g, urls[g]))
+	}
+	members = append(members, m.memberFor(group, url))
+
+	next := ring.View{
+		Epoch:  cur.Epoch + 1,
+		Groups: append(append([]string(nil), cur.Groups...), group),
+	}
+	nextURLs := copyURLs(urls)
+	nextURLs[group] = url
+	plan, err := ring.PlanChange(cur.Groups, next.Groups, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.runChange(members, cur, &next, nextURLs); err != nil {
+		return nil, err
+	}
+	return &ChangeResult{View: next, Plan: plan}, nil
+}
+
+// Drain runs the controller side of removing a replica group: after the
+// epoch+1 view without it is adopted everywhere, the drained group's
+// unexhausted block leases are handed to the successor owning the
+// largest share of its keyspace, so a clean drain burns nothing.
+func (m *Manager) Drain(group string) (*ChangeResult, error) {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+
+	m.mu.Lock()
+	cur := m.view
+	urls := copyURLs(m.urls)
+	m.mu.Unlock()
+	if cur.Slot(group) < 0 {
+		return nil, fmt.Errorf("membership: group %q is not a member of view %d", group, cur.Epoch)
+	}
+	if len(cur.Groups) == 1 {
+		return nil, fmt.Errorf("membership: refusing to drain the last group %q", group)
+	}
+
+	var drained Member
+	members := make([]Member, 0, len(cur.Groups))
+	next := ring.View{Epoch: cur.Epoch + 1}
+	for _, g := range cur.Groups {
+		mem := m.memberFor(g, urls[g])
+		members = append(members, mem)
+		if g == group {
+			drained = mem
+			continue
+		}
+		next.Groups = append(next.Groups, g)
+	}
+	nextURLs := copyURLs(urls)
+	delete(nextURLs, group)
+	plan, err := ring.PlanChange(cur.Groups, next.Groups, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.runChange(members, cur, &next, nextURLs); err != nil {
+		return nil, err
+	}
+
+	// Lease handoff: the drained group is out of the view (its stripe
+	// refuses refills), so its remainders are stable — move them to the
+	// successor inheriting most of its keyspace.
+	successor := successorOf(plan, group, next.Groups)
+	res := &ChangeResult{View: next, Plan: plan, Successor: successor}
+	ranges, err := drained.ReleaseLeases()
+	if err != nil {
+		return res, fmt.Errorf("membership: release drained leases of %q: %w", group, err)
+	}
+	if len(ranges) > 0 {
+		var heir Member
+		for _, mem := range members {
+			if mem.Group() == successor {
+				heir = mem
+			}
+		}
+		if err := heir.AdoptLeases(ranges); err != nil {
+			return res, fmt.Errorf("membership: hand leases to %q: %w", successor, err)
+		}
+		for _, r := range ranges {
+			res.LeasesMoved += r.To - r.From + 1
+		}
+	}
+	return res, nil
+}
+
+// successorOf picks the group receiving the largest keyspace transfer
+// from the drained group (ties and empty plans fall back to the first
+// surviving group, deterministically).
+func successorOf(plan *ring.Plan, drained string, survivors []string) string {
+	best, bestFrac := "", -1.0
+	for _, tr := range plan.Transfers {
+		if tr.From == drained && tr.Fraction > bestFrac {
+			best, bestFrac = tr.To, tr.Fraction
+		}
+	}
+	if best == "" {
+		sorted := append([]string(nil), survivors...)
+		sort.Strings(sorted)
+		best = sorted[0]
+	}
+	return best
+}
+
+// runChange executes the freeze → watermark → advance → resume protocol
+// over the member set. Members are always resumed, success or failure; a
+// partial advance leaves the cluster on mixed epochs, which the operator
+// resolves by re-running the change (advance is idempotent per epoch).
+func (m *Manager) runChange(members []Member, cur ring.View, next *ring.View, nextURLs map[string]string) error {
+	frozen := make([]Member, 0, len(members))
+	defer func() {
+		for _, mem := range frozen {
+			_ = mem.Resume()
+		}
+	}()
+
+	watermark := cur.Watermark
+	for _, mem := range members {
+		highest, err := mem.Freeze()
+		if err != nil {
+			return fmt.Errorf("membership: freeze %q: %w", mem.Group(), err)
+		}
+		frozen = append(frozen, mem)
+		if highest > watermark {
+			watermark = highest
+		}
+	}
+	next.Watermark = watermark
+
+	for _, mem := range members {
+		if err := mem.Advance(*next, nextURLs); err != nil {
+			return fmt.Errorf("membership: advance %q to view %d: %w", mem.Group(), next.Epoch, err)
+		}
+	}
+	return nil
+}
+
+// Member endpoint paths (mounted by the frontend's HTTP server behind
+// its owner guard) and admin paths.
+const (
+	PathFreeze  = "/v1/membership/freeze"
+	PathAdvance = "/v1/membership/advance"
+	PathResume  = "/v1/membership/resume"
+	PathRelease = "/v1/membership/release"
+	PathAdopt   = "/v1/membership/adopt"
+	PathView    = "/v1/membership/view"
+	PathJoin    = "/v1/admin/join"
+	PathDrain   = "/v1/admin/drain"
+)
+
+// wire payloads for the member and admin endpoints.
+type (
+	wireFreezeResp struct{ Highest int64 }
+	wireAdvanceReq struct {
+		View ring.View         `json:"view"`
+		URLs map[string]string `json:"urls"`
+	}
+	wireRangesResp struct {
+		Ranges []ts.IndexRange `json:"ranges"`
+	}
+	wireAdoptReq struct {
+		Ranges []ts.IndexRange `json:"ranges"`
+	}
+	wireJoinReq struct {
+		Group string `json:"group"`
+		URL   string `json:"url"`
+	}
+	wireDrainReq struct {
+		Group string `json:"group"`
+	}
+	wireError struct {
+		Error string `json:"error"`
+	}
+)
+
+// Handler returns the member + admin endpoints. Mount it behind the
+// frontend's owner-token guard: every route mutates issuance state.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	self := local{m}
+	mux.HandleFunc(PathFreeze, func(w http.ResponseWriter, r *http.Request) {
+		if !postOnly(w, r) {
+			return
+		}
+		highest, err := self.Freeze()
+		respond(w, wireFreezeResp{Highest: highest}, err)
+	})
+	mux.HandleFunc(PathAdvance, func(w http.ResponseWriter, r *http.Request) {
+		if !postOnly(w, r) {
+			return
+		}
+		var req wireAdvanceReq
+		if !decode(w, r, &req) {
+			return
+		}
+		respond(w, struct{}{}, self.Advance(req.View, req.URLs))
+	})
+	mux.HandleFunc(PathResume, func(w http.ResponseWriter, r *http.Request) {
+		if !postOnly(w, r) {
+			return
+		}
+		respond(w, struct{}{}, self.Resume())
+	})
+	mux.HandleFunc(PathRelease, func(w http.ResponseWriter, r *http.Request) {
+		if !postOnly(w, r) {
+			return
+		}
+		ranges, err := self.ReleaseLeases()
+		respond(w, wireRangesResp{Ranges: ranges}, err)
+	})
+	mux.HandleFunc(PathAdopt, func(w http.ResponseWriter, r *http.Request) {
+		if !postOnly(w, r) {
+			return
+		}
+		var req wireAdoptReq
+		if !decode(w, r, &req) {
+			return
+		}
+		respond(w, struct{}{}, self.AdoptLeases(req.Ranges))
+	})
+	mux.HandleFunc(PathView, func(w http.ResponseWriter, r *http.Request) {
+		respond(w, m.State(), nil)
+	})
+	mux.HandleFunc(PathJoin, func(w http.ResponseWriter, r *http.Request) {
+		if !postOnly(w, r) {
+			return
+		}
+		var req wireJoinReq
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := m.Join(req.Group, req.URL)
+		respond(w, res, err)
+	})
+	mux.HandleFunc(PathDrain, func(w http.ResponseWriter, r *http.Request) {
+		if !postOnly(w, r) {
+			return
+		}
+		var req wireDrainReq
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := m.Drain(req.Group)
+		respond(w, res, err)
+	})
+	return mux
+}
+
+func postOnly(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil || json.Unmarshal(body, v) != nil {
+		http.Error(w, "bad request body", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func respond(w http.ResponseWriter, v any, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(http.StatusConflict)
+		_ = json.NewEncoder(w).Encode(wireError{Error: err.Error()})
+		return
+	}
+	_ = json.NewEncoder(w).Encode(v)
+}

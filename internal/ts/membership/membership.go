@@ -1,0 +1,132 @@
+// Package membership makes the sharded Token Service's replica-group
+// set operable at runtime: an epoch-numbered membership view (persisted
+// as internal/store WAL records) plus a freeze → advance → resume
+// protocol that lets groups join and drain under load without ever
+// issuing a duplicate one-time index.
+//
+// The moving parts, bottom to top:
+//
+//   - ring.DynamicStripe maps each group's quorum-local allocation
+//     sequence onto the global block space under the current view, and
+//     pauses allocation while a view change is in flight.
+//   - Every frontend runs a Manager wrapping its own stripe and
+//     ShardedCounter. The Manager serves the member endpoints
+//     (POST /v1/membership/{freeze,advance,resume,release,adopt}) that a
+//     view change drives, and the admin endpoints
+//     (POST /v1/admin/{join,drain}) that initiate one.
+//   - Any frontend can act as the change controller: it freezes every
+//     member, computes the new watermark (the highest block any member
+//     allocated), advances everyone to the epoch+1 view — each member
+//     persists the view durably BEFORE acking — hands the drained
+//     group's unexhausted leases to a successor, and resumes.
+//
+// Safety: within an epoch, groups allocate disjoint block residues;
+// across epochs, the watermark separates regions; released leases are
+// re-issued by exactly one adopter. A joining group serves only after
+// catch-up fencing — recording its epoch base runs one full quorum
+// round, which establishes a fenced epoch above any prior coordinator
+// and reads the majority frontier before the first block maps.
+//
+// Liveness through failures is the operator's loop: if a member dies
+// mid-change, the controller resumes the survivors and reports the
+// error; the change is re-run once the member is back (advance is
+// idempotent per epoch, so members that already adopted the view ack
+// again). A frontend crash outside a view change is handled by
+// epoch-fenced takeover instead (Coordinator.Fence), which needs no
+// membership round at all.
+package membership
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/store"
+	"repro/internal/ts"
+	"repro/internal/ts/ring"
+)
+
+// Member is one replica group's handle in a view change, implemented
+// in-process by the controller's own Manager and over HTTP for every
+// other frontend.
+type Member interface {
+	// Group returns the member's group name.
+	Group() string
+	// Freeze pauses the member's allocations and returns the highest
+	// global block it ever allocated. Idempotent.
+	Freeze() (int64, error)
+	// Advance adopts the new view (and the accompanying frontend URL
+	// map), persisting both durably before returning. The member stays
+	// frozen until Resume.
+	Advance(v ring.View, urls map[string]string) error
+	// Resume unfreezes allocation under the current view.
+	Resume() error
+	// ReleaseLeases drains the member's unexhausted block-lease
+	// remainders and returns them — called on a draining group after it
+	// left the view.
+	ReleaseLeases() ([]ts.IndexRange, error)
+	// AdoptLeases feeds released remainders into the member's free-list,
+	// to be issued before fresh blocks.
+	AdoptLeases([]ts.IndexRange) error
+}
+
+// State is the durable membership state a frontend persists on every
+// adopted view and replays at startup.
+type State struct {
+	// View is the adopted membership view.
+	View ring.View `json:"view"`
+	// BaseK is the quorum sequence value recorded when this frontend
+	// adopted the view; reusing it across a restart keeps the restarted
+	// stripe from re-mapping old sequence numbers onto issued blocks.
+	BaseK int64 `json:"baseK"`
+	// URLs maps every group in the view to its frontend base URL.
+	URLs map[string]string `json:"urls,omitempty"`
+}
+
+// persistState appends the state as a KindView WAL record.
+func persistState(journal store.Backend, st State) error {
+	if journal == nil {
+		return nil
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("membership: encode view %d: %w", st.View.Epoch, err)
+	}
+	if err := journal.Append(store.Record{Kind: store.KindView, Value: st.View.Epoch, Data: blob}); err != nil {
+		return fmt.Errorf("membership: persist view %d: %w", st.View.Epoch, err)
+	}
+	return nil
+}
+
+// LoadState replays the journal and returns the highest-epoch persisted
+// membership state, or ok=false when none was ever recorded. Backends
+// whose Replay is single-shot (store.File) and shared with another
+// reader must replay once and use StateFromRecords instead.
+func LoadState(journal store.Backend) (State, bool, error) {
+	if journal == nil {
+		return State{}, false, nil
+	}
+	_, recs, err := journal.Replay()
+	if err != nil {
+		return State{}, false, fmt.Errorf("membership: replay views: %w", err)
+	}
+	return StateFromRecords(recs)
+}
+
+// StateFromRecords extracts the highest-epoch persisted membership state
+// from an already-replayed record stream, skipping every non-view kind
+// (the journal may interleave lease-reclaim records).
+func StateFromRecords(recs []store.Record) (st State, ok bool, err error) {
+	for _, rec := range recs {
+		if rec.Kind != store.KindView {
+			continue
+		}
+		var cand State
+		if err := json.Unmarshal(rec.Data, &cand); err != nil {
+			return State{}, false, fmt.Errorf("membership: corrupt view record (epoch %d): %w", rec.Value, err)
+		}
+		if !ok || cand.View.Epoch > st.View.Epoch {
+			st, ok = cand, true
+		}
+	}
+	return st, ok, nil
+}

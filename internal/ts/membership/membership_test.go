@@ -1,0 +1,255 @@
+package membership
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/ts"
+	"repro/internal/ts/ring"
+)
+
+// seqCounter stands in for a group's quorum coordinator.
+type seqCounter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *seqCounter) Next() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n, nil
+}
+
+// frontend is one in-process Token Service frontend: stripe + sharded
+// counter + manager + a real HTTP server for the member endpoints.
+type frontend struct {
+	group   string
+	counter *ts.ShardedCounter
+	manager *Manager
+	server  *httptest.Server
+}
+
+func newFrontend(t *testing.T, group string, v ring.View, urls map[string]string, journal store.Backend, reg *metrics.Registry) *frontend {
+	t.Helper()
+	stripe, err := ring.NewDynamicStripe(&seqCounter{}, group, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := ts.NewShardedCounter(stripe, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(Config{
+		Group:    group,
+		Stripe:   stripe,
+		Counter:  counter,
+		Journal:  journal,
+		Registry: reg,
+	}, v, urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &frontend{group: group, counter: counter, manager: mgr}
+	f.server = httptest.NewServer(mgr.Handler())
+	t.Cleanup(f.server.Close)
+	return f
+}
+
+// TestJoinDrainLifecycle drives the full protocol over real HTTP member
+// endpoints: two groups issue under load, a third joins mid-stream, then
+// one drains and hands its unexhausted leases over. Every index across
+// all groups and epochs must be unique, and the drained remainders must
+// resurface through the successor instead of burning.
+func TestJoinDrainLifecycle(t *testing.T) {
+	reg := metrics.NewRegistry()
+	v1 := ring.View{Epoch: 1, Groups: []string{"a", "b"}}
+
+	// Bootstrapping: URLs must be known before servers exist, so reserve
+	// them via a two-phase setup — build a with placeholder, fix after.
+	urls := map[string]string{}
+	fa := newFrontend(t, "a", v1, map[string]string{"a": "pending", "b": "pending"}, store.NewMemory(), reg)
+	fb := newFrontend(t, "b", v1, map[string]string{"a": "pending", "b": "pending"}, nil, reg)
+	urls["a"], urls["b"] = fa.server.URL, fb.server.URL
+	// Re-seed the managers' URL maps through a no-op advance is overkill
+	// for a test: rebuild them with real URLs instead.
+	fa.manager.mu.Lock()
+	fa.manager.urls = copyURLs(urls)
+	fa.manager.mu.Unlock()
+	fb.manager.mu.Lock()
+	fb.manager.urls = copyURLs(urls)
+	fb.manager.mu.Unlock()
+
+	seen := make(map[int64]string)
+	issue := func(f *frontend, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			idx, err := f.counter.Next()
+			if err != nil {
+				t.Fatalf("%s: %v", f.group, err)
+			}
+			if prev, dup := seen[idx]; dup {
+				t.Fatalf("index %d issued by both %s and %s", idx, prev, f.group)
+			}
+			seen[idx] = f.group
+		}
+	}
+
+	issue(fa, 30)
+	issue(fb, 17)
+
+	// Group c joins via the admin op on frontend a. The joiner boots with
+	// the cluster's current view (not containing itself).
+	fc := newFrontend(t, "c", v1, urls, nil, reg)
+	joinRes, err := fa.manager.Join("c", fc.server.URL)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if got := joinRes.View.Epoch; got != 2 {
+		t.Fatalf("post-join epoch = %d, want 2", got)
+	}
+	if joinRes.View.Slot("c") < 0 {
+		t.Fatal("joiner missing from adopted view")
+	}
+	if joinRes.Plan == nil || joinRes.Plan.MovedFraction > 1.5/3.0 {
+		t.Fatalf("join plan moved %v, want ≤ 0.5", joinRes.Plan)
+	}
+	for _, tr := range joinRes.Plan.Transfers {
+		if tr.To != "c" {
+			t.Fatalf("join plan moves keys %s→%s, all movement must target the joiner", tr.From, tr.To)
+		}
+	}
+	if e := fb.manager.View().Epoch; e != 2 {
+		t.Fatalf("member b not advanced: epoch %d", e)
+	}
+	if e := fc.manager.View().Epoch; e != 2 {
+		t.Fatalf("joiner c not advanced: epoch %d", e)
+	}
+
+	issue(fa, 12)
+	issue(fb, 25)
+	issue(fc, 21)
+
+	// Drain b from frontend c (any frontend can control a change). b has
+	// unexhausted leases; they must move to the successor, not burn.
+	drainRes, err := fc.manager.Drain("b")
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := drainRes.View.Epoch; got != 3 {
+		t.Fatalf("post-drain epoch = %d, want 3", got)
+	}
+	if drainRes.View.Slot("b") >= 0 {
+		t.Fatal("drained group still in view")
+	}
+	if drainRes.LeasesMoved == 0 {
+		t.Fatal("drain moved no leases despite unexhausted blocks")
+	}
+	if drainRes.Successor != "a" && drainRes.Successor != "c" {
+		t.Fatalf("successor %q is not a surviving group", drainRes.Successor)
+	}
+	var heir *frontend
+	if drainRes.Successor == "a" {
+		heir = fa
+	} else {
+		heir = fc
+	}
+	if got := heir.counter.Reclaimed(); got != drainRes.LeasesMoved {
+		t.Fatalf("successor reclaimed %d indexes, change reported %d", got, drainRes.LeasesMoved)
+	}
+
+	// The drained group refuses to issue; survivors keep going, reusing
+	// the handed-over indexes first.
+	if _, err := fb.counter.Next(); err == nil || !strings.Contains(err.Error(), "not a member") {
+		t.Fatalf("drained frontend issued an index (err=%v)", err)
+	}
+	issue(fa, 40)
+	issue(fc, 40)
+
+	// The handed-over remainders must resurface exactly once.
+	reused := int64(0)
+	for idx, g := range seen {
+		_ = idx
+		if g == drainRes.Successor {
+			reused++
+		}
+	}
+	if reused == 0 {
+		t.Fatal("successor issued nothing after adopting leases")
+	}
+
+	// Membership epoch gauge tracks the latest adopted view.
+	if got := reg.Gauge(ts.MetricMembershipEpoch, "").Value(); got != 3 {
+		t.Fatalf("%s gauge = %d, want 3", ts.MetricMembershipEpoch, got)
+	}
+
+	// Persistence: frontend a journaled every adopted view; a restart
+	// resumes from epoch 3 with the post-drain URL map.
+	st, ok, err := LoadState(fa.manager.cfg.Journal)
+	if err != nil || !ok {
+		t.Fatalf("LoadState: ok=%v err=%v", ok, err)
+	}
+	if st.View.Epoch != 3 || st.View.Slot("b") >= 0 {
+		t.Fatalf("persisted view = %+v, want epoch 3 without b", st.View)
+	}
+	if st.URLs["c"] != fc.server.URL {
+		t.Fatalf("persisted URLs missing joiner: %+v", st.URLs)
+	}
+	if st.BaseK == 0 {
+		t.Fatal("persisted baseK is 0 after two advances — epoch base not recorded")
+	}
+}
+
+// TestAdvanceIdempotentPerEpoch pins the retry contract: re-advancing a
+// member to the view it already adopted acks instead of failing, so an
+// operator can re-run a change that died halfway.
+func TestAdvanceIdempotentPerEpoch(t *testing.T) {
+	v1 := ring.View{Epoch: 1, Groups: []string{"a"}}
+	f := newFrontend(t, "a", v1, map[string]string{"a": "http://x"}, nil, metrics.NewRegistry())
+
+	rem := &Remote{GroupName: "a", Base: f.server.URL}
+	if _, err := rem.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := ring.View{Epoch: 2, Groups: []string{"a"}, Watermark: 0}
+	urls := map[string]string{"a": "http://x"}
+	if err := rem.Advance(v2, urls); err != nil {
+		t.Fatalf("first advance: %v", err)
+	}
+	if err := rem.Advance(v2, urls); err != nil {
+		t.Fatalf("idempotent re-advance rejected: %v", err)
+	}
+	// A stale epoch is still rejected.
+	if err := rem.Advance(v1, urls); err == nil {
+		t.Fatal("stale advance accepted")
+	}
+	if err := rem.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := rem.FetchState(); err != nil || st.View.Epoch != 2 {
+		t.Fatalf("FetchState = %+v, %v", st, err)
+	}
+}
+
+// TestChangeGuards covers the refusals: joining a present group,
+// draining an absent one, draining the last group.
+func TestChangeGuards(t *testing.T) {
+	v1 := ring.View{Epoch: 1, Groups: []string{"a"}}
+	f := newFrontend(t, "a", v1, map[string]string{"a": "http://x"}, nil, metrics.NewRegistry())
+	if _, err := f.manager.Join("a", "http://y"); err == nil {
+		t.Fatal("joined an existing member")
+	}
+	if _, err := f.manager.Drain("zz"); err == nil {
+		t.Fatal("drained a non-member")
+	}
+	if _, err := f.manager.Drain("a"); err == nil {
+		t.Fatal("drained the last group")
+	}
+	if _, err := f.manager.Join("", ""); err == nil {
+		t.Fatal("empty join accepted")
+	}
+}

@@ -19,6 +19,15 @@ const (
 	MetricIssueSeconds = "ts_issue_seconds"
 	MetricBatchSize    = "ts_issue_batch_size"
 	MetricLeaseSpread  = "ts_counter_lease_spread"
+	// MetricLeaseReclaimed counts one-time indexes adopted back from a
+	// predecessor's released block leases instead of burned. It belongs
+	// to the counter's owner (the daemon or harness), not the Service —
+	// several Services can front one counter.
+	MetricLeaseReclaimed = "ts_lease_reclaimed_total"
+	// MetricMembershipEpoch is the replica-group membership view epoch
+	// this frontend serves under (0 = static membership, no view
+	// adopted).
+	MetricMembershipEpoch = "ts_membership_epoch"
 )
 
 // Denial reason label values, in the order the issuance path checks
@@ -72,6 +81,25 @@ func denyReason(err error) string {
 	default:
 		return "other"
 	}
+}
+
+// RegisterCounterMetrics wires the counter-ownership series onto reg:
+// ts_lease_reclaimed_total reads the counter's Reclaimed total at scrape
+// time (0 when the counter does not reclaim, so the series — and the CI
+// metrics-smoke grep — always renders), and ts_membership_epoch is
+// registered at its static-membership zero, to be raised by a membership
+// manager when a view is adopted. Call it once per registry, from
+// whoever owns the counter.
+func RegisterCounterMetrics(reg *metrics.Registry, counter Counter) {
+	reg = metrics.Or(reg)
+	src := func() uint64 { return 0 }
+	if rc, ok := counter.(interface{ Reclaimed() int64 }); ok {
+		src = func() uint64 { return uint64(rc.Reclaimed()) }
+	}
+	reg.CounterFunc(MetricLeaseReclaimed,
+		"One-time indexes adopted back from released block leases instead of burned.", src)
+	reg.Gauge(MetricMembershipEpoch,
+		"Replica-group membership view epoch in effect (0 = static membership).")
 }
 
 // RegistryStats reads the registry-level issuance totals — the sum over

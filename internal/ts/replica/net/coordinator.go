@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/ts/replica"
 )
 
@@ -29,7 +30,18 @@ const (
 	// downAfter is the consecutive-failure count at which a replica is
 	// suspected down.
 	downAfter = 3
+	// DefaultBackoffCap bounds one contention-backoff sleep. The cap is
+	// what makes chaos timing analyzable: a worst-case grant needs at
+	// most maxProposeRounds sleeps, so the total stall a duel can add is
+	// maxProposeRounds × DefaultBackoffCap, independent of how unlucky
+	// the jitter rolls are.
+	DefaultBackoffCap = 32 * time.Millisecond
 )
+
+// MetricGrantRetries counts grant rounds that had to be retried (lease
+// race lost or fenced off by a newer coordinator) across every
+// coordinator sharing a registry.
+const MetricGrantRetries = "coordinator_grant_retries_total"
 
 // Options tune a Coordinator.
 type Options struct {
@@ -37,6 +49,15 @@ type Options struct {
 	Timeout time.Duration
 	// Client overrides the HTTP client (nil = a pooled default).
 	Client *http.Client
+	// Metrics receives coordinator counters (nil = the process default
+	// registry).
+	Metrics *metrics.Registry
+	// BackoffCap bounds a single contention-backoff sleep
+	// (0 = DefaultBackoffCap).
+	BackoffCap time.Duration
+	// BackoffSeed seeds the backoff jitter (0 = derived from the global
+	// source). Fixing it makes contention timing reproducible in tests.
+	BackoffSeed int64
 }
 
 // Coordinator is the client side of the protocol: it implements
@@ -62,6 +83,12 @@ type Coordinator struct {
 	// lease; it drives the exponential backoff that desynchronizes
 	// dueling coordinators.
 	contention int
+	// rng drives backoff jitter; per-coordinator (and mu-guarded) so a
+	// fixed BackoffSeed gives a reproducible delay sequence.
+	rng        *rand.Rand
+	backoffCap time.Duration
+
+	grantRetries *metrics.Counter
 }
 
 // NewCoordinator builds a coordinator over the replica base URLs
@@ -81,11 +108,22 @@ func NewCoordinator(peers []string, opts Options) (*Coordinator, error) {
 			MaxIdleConnsPerHost: 8,
 		}}
 	}
+	if opts.BackoffCap <= 0 {
+		opts.BackoffCap = DefaultBackoffCap
+	}
+	seed := opts.BackoffSeed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
 	return &Coordinator{
-		peers:   append([]string(nil), peers...),
-		client:  opts.Client,
-		timeout: opts.Timeout,
-		fails:   make([]atomic.Int32, len(peers)),
+		peers:      append([]string(nil), peers...),
+		client:     opts.Client,
+		timeout:    opts.Timeout,
+		fails:      make([]atomic.Int32, len(peers)),
+		rng:        rand.New(rand.NewSource(seed)),
+		backoffCap: opts.BackoffCap,
+		grantRetries: metrics.Or(opts.Metrics).Counter(MetricGrantRetries,
+			"Coordinator grant rounds retried after a lost lease race or epoch preemption."),
 	}, nil
 }
 
@@ -140,6 +178,7 @@ func (c *Coordinator) Next() (int64, error) {
 		if replies < c.majority() {
 			return 0, replica.ErrNoQuorum
 		}
+		c.grantRetries.Inc()
 		if maxPromised > c.epoch {
 			// Fenced off by a newer coordinator: re-establish an epoch
 			// above the one that preempted us before retrying. Back off
@@ -153,6 +192,23 @@ func (c *Coordinator) Next() (int64, error) {
 		// fresh read.
 	}
 	return 0, fmt.Errorf("replica/net: no progress after %d rounds", maxProposeRounds)
+}
+
+// Fence establishes a fresh epoch immediately, even if one is already
+// held, and returns it. It is the takeover primitive: a successor
+// frontend fences over a crashed (or merely suspected-dead) predecessor,
+// after which every replica majority rejects the predecessor's grants —
+// its leased blocks stop growing within one lease round-trip instead of
+// lingering until someone happens to allocate. Safe to call on a live
+// group; the displaced coordinator refences on its next allocation.
+func (c *Coordinator) Fence() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fenced = false
+	if err := c.fenceLocked(); err != nil {
+		return 0, err
+	}
+	return c.epoch, nil
 }
 
 // fenceLocked establishes an epoch: propose epoch+1 to everyone and
@@ -180,16 +236,33 @@ func (c *Coordinator) fenceLocked() error {
 }
 
 // backoffLocked sleeps a jittered duration that grows exponentially
-// with the coordinator's recent preemption count (capped at ~64ms), so
-// coordinators that keep preempting each other desynchronize instead of
-// livelocking — the standard answer to Paxos's dueling proposers.
-// Requires c.mu (the sleep intentionally holds the allocation lock:
-// letting another local allocation barge in would just duel again).
+// with the coordinator's recent preemption count, hard-capped at
+// backoffCap, so coordinators that keep preempting each other
+// desynchronize instead of livelocking — the standard answer to Paxos's
+// dueling proposers. Requires c.mu (the sleep intentionally holds the
+// allocation lock: letting another local allocation barge in would just
+// duel again).
 func (c *Coordinator) backoffLocked() {
-	if c.contention < 7 {
+	if c.contention < 16 {
 		c.contention++
 	}
-	time.Sleep(time.Duration(rand.Intn(1<<c.contention)+1) * time.Millisecond)
+	time.Sleep(backoffDelay(c.contention, c.rng, c.backoffCap))
+}
+
+// backoffDelay computes one jittered backoff: uniform in
+// [1ms, min(2^contention ms, cap)]. Pure so the bound is testable with a
+// seeded source — no jitter roll may exceed cap, which in turn bounds
+// the worst-case stall of a full grant duel (maxProposeRounds × cap)
+// below any chaos-scenario deadline.
+func backoffDelay(contention int, rng *rand.Rand, cap time.Duration) time.Duration {
+	ceil := time.Duration(1<<uint(min(contention, 30))) * time.Millisecond
+	if ceil > cap {
+		ceil = cap
+	}
+	if ceil < time.Millisecond {
+		ceil = time.Millisecond
+	}
+	return time.Millisecond + time.Duration(rng.Int63n(int64(ceil-time.Millisecond)+1))
 }
 
 // readMaxLocked reads a majority of replica states and returns the

@@ -14,7 +14,6 @@ package ring
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 )
@@ -65,19 +64,38 @@ func mix64(h uint64) uint64 {
 	return h
 }
 
+// FNV-1a parameters, inlined so the hash paths allocate nothing: the
+// rebalance-plan computation hashes every virtual node of every group
+// (hundreds of millions of calls across a property-test run), and
+// hash/fnv's Hash64 interface costs a heap allocation per call.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // hashKey positions arbitrary bytes on the circle.
 func hashKey(key []byte) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write(key)
-	return mix64(h.Sum64())
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return mix64(h)
 }
 
-// vnodeHash positions one of a group's virtual nodes.
+// vnodeHash positions one of a group's virtual nodes. Byte-identical to
+// FNV-1a over group ++ '#' ++ big-endian-4(i), the original wire form.
 func vnodeHash(group string, i int) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(group))
-	_, _ = h.Write([]byte{'#', byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i)})
-	return mix64(h.Sum64())
+	h := uint64(fnvOffset64)
+	for j := 0; j < len(group); j++ {
+		h ^= uint64(group[j])
+		h *= fnvPrime64
+	}
+	for _, b := range [5]byte{'#', byte(i >> 24), byte(i >> 16), byte(i >> 8), byte(i)} {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return mix64(h)
 }
 
 // Add inserts a group's virtual nodes. Adding a present group is a

@@ -45,6 +45,21 @@ type ShardedCounter struct {
 	blockSize  int64
 	shards     []shard
 	pick       atomic.Uint64
+
+	// freeMu guards the adopted free-list: inclusive index ranges handed
+	// back by a cleanly shut-down predecessor (see Release/Adopt). Shards
+	// drain the free-list before leasing fresh blocks, so reclaimed
+	// indexes are reused instead of burned.
+	freeMu    sync.Mutex
+	free      []IndexRange
+	reclaimed atomic.Int64
+}
+
+// IndexRange is an inclusive range of one-time indexes moving between
+// counter incarnations during lease release and adoption.
+type IndexRange struct {
+	From int64 `json:"from"`
+	To   int64 `json:"to"`
 }
 
 // shard is one lease holder. The mutex only guards lease refills and the
@@ -94,14 +109,83 @@ func (c *ShardedCounter) Next() (int64, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.next == 0 || sh.next > sh.end {
-		block, err := c.underlying.Next()
-		if err != nil {
-			return 0, fmt.Errorf("ts: lease index block: %w", err)
+		if r, ok := c.popFree(); ok {
+			sh.next, sh.end = r.From, r.To
+		} else {
+			block, err := c.underlying.Next()
+			if err != nil {
+				return 0, fmt.Errorf("ts: lease index block: %w", err)
+			}
+			sh.next = (block-1)*c.blockSize + 1
+			sh.end = block * c.blockSize
 		}
-		sh.next = (block-1)*c.blockSize + 1
-		sh.end = block * c.blockSize
 	}
 	n := sh.next
 	sh.next++
 	return n, nil
 }
+
+// popFree takes one adopted range off the free-list.
+func (c *ShardedCounter) popFree() (IndexRange, bool) {
+	c.freeMu.Lock()
+	defer c.freeMu.Unlock()
+	if len(c.free) == 0 {
+		return IndexRange{}, false
+	}
+	r := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	return r, true
+}
+
+// Adopt feeds previously released index ranges into the free-list, to be
+// issued before any fresh block is leased. The caller owns the safety
+// argument: a range must be adopted at most once, and only after its
+// release (plus this adoption, for durable setups) is recorded — see
+// store.Counter.PendingReclaims for the durable handshake. Adopted
+// ranges sit below the current allocation frontier, so they widen the
+// issued-index spread beyond MaxSpread by the span down to the lowest
+// adopted index — sliding-window bitmap sizing must budget for it.
+func (c *ShardedCounter) Adopt(ranges []IndexRange) error {
+	for _, r := range ranges {
+		if r.From < 1 || r.To < r.From {
+			return fmt.Errorf("ts: invalid adopted range [%d,%d]", r.From, r.To)
+		}
+	}
+	c.freeMu.Lock()
+	c.free = append(c.free, ranges...)
+	c.freeMu.Unlock()
+	for _, r := range ranges {
+		c.reclaimed.Add(r.To - r.From + 1)
+	}
+	return nil
+}
+
+// Release drains every shard's unexhausted lease remainder (and any
+// unissued adopted ranges) and returns them, leaving the counter empty-
+// handed: the next Next leases a fresh block. It is the clean-shutdown
+// half of lease reclamation — the caller persists the ranges (e.g.
+// store.Counter.ReleaseRanges) so a successor can Adopt instead of
+// burning them. Concurrent Next calls are safe but may race a remainder
+// back into use, so callers should stop issuance first.
+func (c *ShardedCounter) Release() []IndexRange {
+	var out []IndexRange
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		if sh.next != 0 && sh.next <= sh.end {
+			out = append(out, IndexRange{From: sh.next, To: sh.end})
+		}
+		sh.next, sh.end = 0, 0
+		sh.mu.Unlock()
+	}
+	c.freeMu.Lock()
+	out = append(out, c.free...)
+	c.free = nil
+	c.freeMu.Unlock()
+	return out
+}
+
+// Reclaimed returns the total number of indexes this counter adopted
+// from predecessors instead of burning — the ts_lease_reclaimed_total
+// metric source.
+func (c *ShardedCounter) Reclaimed() int64 { return c.reclaimed.Load() }

@@ -151,3 +151,70 @@ func TestShardedCounterPropagatesUnderlyingErrors(t *testing.T) {
 		t.Errorf("err = %v, want ErrNoQuorum", err)
 	}
 }
+
+// TestShardedCounterReleaseAdopt drives the clean-shutdown half of lease
+// reclamation: a successor adopting the released remainders issues every
+// released index exactly once before leasing any fresh block, so a
+// graceful restart leaves no gap in the index space.
+func TestShardedCounterReleaseAdopt(t *testing.T) {
+	under := &LocalCounter{}
+	first, err := NewShardedCounter(under, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issued := make(map[int64]bool)
+	for i := 0; i < 40; i++ {
+		n, err := first.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if issued[n] {
+			t.Fatalf("index %d issued twice", n)
+		}
+		issued[n] = true
+	}
+	released := first.Release()
+	if len(released) != 2 {
+		t.Fatalf("released %d ranges, want 2 (one per shard): %+v", len(released), released)
+	}
+	if more := first.Release(); len(more) != 0 {
+		t.Fatalf("second Release returned %+v, want nothing", more)
+	}
+
+	second, err := NewShardedCounter(under, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Adopt(released); err != nil {
+		t.Fatal(err)
+	}
+	wantReclaimed := int64(0)
+	for _, r := range released {
+		wantReclaimed += r.To - r.From + 1
+	}
+	if got := second.Reclaimed(); got != wantReclaimed {
+		t.Fatalf("Reclaimed = %d, want %d", got, wantReclaimed)
+	}
+
+	// 2 shards × 64 block = 128 indexes in the first two blocks; the
+	// successor must fill every remaining hole before touching block 3.
+	for i := 0; i < 128-40; i++ {
+		n, err := second.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if issued[n] {
+			t.Fatalf("adopted index %d issued twice", n)
+		}
+		issued[n] = true
+	}
+	for i := int64(1); i <= 128; i++ {
+		if !issued[i] {
+			t.Fatalf("index %d never issued: gap across graceful restart", i)
+		}
+	}
+
+	if err := second.Adopt([]IndexRange{{From: 9, To: 3}}); err == nil {
+		t.Fatal("invalid adopted range accepted")
+	}
+}

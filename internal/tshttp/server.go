@@ -49,6 +49,12 @@ type ServerOptions struct {
 	// profiles expose internals (goroutine stacks, heap contents) that do
 	// not belong on an open listener.
 	Pprof bool
+	// Admin, when set, is mounted under /v1/membership/ and /v1/admin/
+	// behind the owner guard — the membership.Manager handler in the
+	// daemon. Every membership route mutates issuance state, so the same
+	// bearer secret that protects rule administration protects these
+	// (and an empty owner token disables them, fail closed).
+	Admin http.Handler
 }
 
 // NewServer wraps svc with default options. ownerToken is the bearer
@@ -75,6 +81,11 @@ func NewServerWithOptions(svc *ts.Service, ownerToken string, opts ServerOptions
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux.Handle("GET /metrics", reg.Handler())
+	if opts.Admin != nil {
+		admin := s.ownerOnly(opts.Admin.ServeHTTP)
+		handle("/v1/membership/", "/v1/membership", admin)
+		handle("/v1/admin/", "/v1/admin", admin)
+	}
 	if opts.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

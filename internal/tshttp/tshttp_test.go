@@ -2,6 +2,7 @@ package tshttp
 
 import (
 	"math/big"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -260,5 +261,63 @@ func TestStatsOverHTTP(t *testing.T) {
 	wantIssued, wantRejected := svc.Stats()
 	if st.Issued != wantIssued || st.Rejected != wantRejected {
 		t.Errorf("HTTP stats %+v disagree with service stats (%d, %d)", st, wantIssued, wantRejected)
+	}
+}
+
+// TestAdminMountOwnerGuard pins the membership/admin mount contract:
+// the handler is reachable under /v1/membership/ and /v1/admin/ with the
+// owner bearer token, rejected without it, and fails closed when no
+// owner token is configured.
+func TestAdminMountOwnerGuard(t *testing.T) {
+	mk := func(ownerToken string) *httptest.Server {
+		svc, err := ts.New(ts.Config{
+			Key: httpTSKey,
+			Now: func() time.Time { return time.Date(2020, 3, 17, 12, 0, 0, 0, time.UTC) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		admin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"reached":"` + r.URL.Path + `"}`))
+		})
+		srv := httptest.NewServer(NewServerWithOptions(svc, ownerToken, ServerOptions{Admin: admin}).Handler())
+		t.Cleanup(srv.Close)
+		return srv
+	}
+
+	do := func(url, token string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, url, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	guarded := mk("s3cret")
+	for _, path := range []string{"/v1/membership/freeze", "/v1/admin/join"} {
+		if code := do(guarded.URL+path, "s3cret"); code != http.StatusOK {
+			t.Fatalf("%s with owner token: status %d", path, code)
+		}
+		if code := do(guarded.URL+path, "wrong"); code != http.StatusUnauthorized {
+			t.Fatalf("%s with bad token: status %d, want 401", path, code)
+		}
+		if code := do(guarded.URL+path, ""); code != http.StatusUnauthorized {
+			t.Fatalf("%s without token: status %d, want 401", path, code)
+		}
+	}
+
+	open := mk("")
+	if code := do(open.URL+"/v1/admin/join", ""); code != http.StatusForbidden {
+		t.Fatalf("adminless daemon served /v1/admin: status %d, want 403", code)
 	}
 }
