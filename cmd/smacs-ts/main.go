@@ -383,11 +383,13 @@ func openCounter(storeKind, dirPath string, fsyncBatch, shards int, peers, group
 
 // openMembershipCounter builds the dynamic-membership counter stack: a
 // DynamicStripe over the quorum coordinator, the sharded counter on
-// top, and the membership Manager that serves the view-change protocol.
-// With -dir, dir/membership journals adopted views AND released block
-// leases (snapshots stay disabled there so neither record kind is ever
-// folded away); a restart resumes the last adopted view, not the boot
-// view.
+// top, and the membership Manager that serves the view-change protocol
+// (plus the /v1/admin/repair recovery op). With -dir, dir/membership
+// journals adopted views AND released block leases — including the
+// reclaim/adopt handshake a drain's lease handoff runs through, so an
+// interrupted handoff is recovered at the next boot (snapshots stay
+// disabled there so no record kind is ever folded away); a restart
+// resumes the last adopted view, not the boot view.
 func openMembershipCounter(storeKind, dirPath string, fsyncBatch, shards int, peers, groupName, initialGroups, ownerToken string) (*counterStack, error) {
 	if storeKind != "mem" {
 		return nil, fmt.Errorf("-group-name keeps counter durability on the replicas; drop -store file (-dir holds the membership journal)")
@@ -445,6 +447,7 @@ func openMembershipCounter(storeKind, dirPath string, fsyncBatch, shards int, pe
 		Stripe:     stripe,
 		Counter:    sc,
 		Journal:    journal,
+		Reclaims:   reclaims,
 		OwnerToken: ownerToken,
 	}, view, urls, baseK)
 	if err != nil {

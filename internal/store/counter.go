@@ -137,6 +137,25 @@ func (c *Counter) ReleaseRanges(ranges []IndexRange) error {
 	return nil
 }
 
+// AdoptRanges durably consumes reclaim offers on behalf of an external
+// adopter: one KindAdopt record per range is appended before returning,
+// so no later replay offers the range again. A membership drain uses it
+// to close the handoff ledger — the controller journals the drained
+// ranges as offers (ReleaseRanges), consumes them here, and only then
+// hands them to the successor frontend, so a crash anywhere in between
+// re-issues each range at most once.
+func (c *Counter) AdoptRanges(ranges []IndexRange) error {
+	for _, r := range ranges {
+		if r.From < 1 || r.To < r.From {
+			return fmt.Errorf("store: invalid adopt range [%d,%d]", r.From, r.To)
+		}
+		if err := c.b.Append(encodeRange(KindAdopt, r)); err != nil {
+			return fmt.Errorf("store: persist adopt [%d,%d]: %w", r.From, r.To, err)
+		}
+	}
+	return nil
+}
+
 // PendingReclaims adopts and returns the index ranges a previous
 // incarnation released. The KindAdopt record for every range is durable
 // BEFORE the range is returned, so the caller may re-issue its indexes

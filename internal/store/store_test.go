@@ -409,6 +409,53 @@ func TestSnapshotFileAtomicity(t *testing.T) {
 	}
 }
 
+// TestCounterAdoptRangesClosesOffers pins the external-adopter
+// handshake a membership drain uses: offers consumed via AdoptRanges in
+// the SAME incarnation that released them are never re-offered by a
+// later replay (the released ranges went to another frontend, so a
+// replay offering them here would double-issue).
+func TestCounterAdoptRangesClosesOffers(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenCounter(f, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := []IndexRange{{From: 40, To: 47}, {From: 90, To: 95}}
+	if err := c.ReleaseRanges(ranges); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdoptRanges(ranges); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdoptRanges([]IndexRange{{From: 3, To: 1}}); err == nil {
+		t.Fatal("invalid adopt range accepted")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	c2, err := OpenCounter(f2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, err := c2.PendingReclaims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("consumed offers re-offered after replay: %+v", pending)
+	}
+}
+
 // TestCounterReclaimCycle drives the release → adopt lease-reclamation
 // protocol across three incarnations of a file-backed counter: released
 // ranges are offered exactly once, adoption is durable before the ranges

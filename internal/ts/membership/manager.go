@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/metrics"
@@ -27,6 +28,13 @@ type Config struct {
 	// Journal persists adopted views as KindView WAL records (nil =
 	// volatile membership, for tests and benches).
 	Journal store.Backend
+	// Reclaims, when set, journals drain lease handoffs through the
+	// KindReclaim/KindAdopt handshake (normally over the same backend as
+	// Journal): the drained ranges are durably offered and consumed
+	// before the successor adopts them, so a handoff interrupted by a
+	// crash is recovered at the next boot instead of silently burning
+	// the ranges. Nil = volatile handoff.
+	Reclaims *store.Counter
 	// Registry receives the ts_membership_epoch gauge (nil = default).
 	Registry *metrics.Registry
 	// OwnerToken, when set, is sent as a Bearer token on member calls to
@@ -113,7 +121,14 @@ type local struct{ m *Manager }
 
 func (l local) Group() string { return l.m.cfg.Group }
 
-func (l local) Freeze() (int64, error) { return l.m.cfg.Stripe.Freeze(), nil }
+func (l local) Freeze() (FreezeInfo, error) {
+	highest, wasFrozen, err := l.m.cfg.Stripe.Freeze()
+	if err != nil {
+		return FreezeInfo{}, err
+	}
+	v, _ := l.m.cfg.Stripe.State()
+	return FreezeInfo{Highest: highest, Epoch: v.Epoch, WasFrozen: wasFrozen}, nil
+}
 
 func (l local) Advance(v ring.View, urls map[string]string) error {
 	m := l.m
@@ -194,11 +209,11 @@ type ChangeResult struct {
 }
 
 // Join runs the controller side of adding a replica group: freeze every
-// member plus the joiner, advance all of them to the epoch+1 view whose
-// watermark caps every block allocated so far, and resume. The joiner
-// serves only after its advance — recording its epoch base runs a full
-// quorum round (catch-up fencing), so it can never map a block at or
-// below one an earlier coordinator handed out.
+// member plus the joiner, advance all of them to a fresh-epoch view
+// whose watermark caps every block allocated so far, and resume. The
+// joiner serves only after its advance — recording its epoch base runs a
+// full quorum round (catch-up fencing), so it can never map a block at
+// or below one an earlier coordinator handed out.
 func (m *Manager) Join(group, url string) (*ChangeResult, error) {
 	if group == "" || url == "" {
 		return nil, fmt.Errorf("membership: join needs a group name and a frontend URL")
@@ -221,7 +236,6 @@ func (m *Manager) Join(group, url string) (*ChangeResult, error) {
 	members = append(members, m.memberFor(group, url))
 
 	next := ring.View{
-		Epoch:  cur.Epoch + 1,
 		Groups: append(append([]string(nil), cur.Groups...), group),
 	}
 	nextURLs := copyURLs(urls)
@@ -237,7 +251,7 @@ func (m *Manager) Join(group, url string) (*ChangeResult, error) {
 }
 
 // Drain runs the controller side of removing a replica group: after the
-// epoch+1 view without it is adopted everywhere, the drained group's
+// fresh-epoch view without it is adopted everywhere, the drained group's
 // unexhausted block leases are handed to the successor owning the
 // largest share of its keyspace, so a clean drain burns nothing.
 func (m *Manager) Drain(group string) (*ChangeResult, error) {
@@ -257,7 +271,7 @@ func (m *Manager) Drain(group string) (*ChangeResult, error) {
 
 	var drained Member
 	members := make([]Member, 0, len(cur.Groups))
-	next := ring.View{Epoch: cur.Epoch + 1}
+	var next ring.View
 	for _, g := range cur.Groups {
 		mem := m.memberFor(g, urls[g])
 		members = append(members, mem)
@@ -286,21 +300,92 @@ func (m *Manager) Drain(group string) (*ChangeResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("membership: release drained leases of %q: %w", group, err)
 	}
-	if len(ranges) > 0 {
-		var heir Member
-		for _, mem := range members {
-			if mem.Group() == successor {
-				heir = mem
-			}
+	if len(ranges) == 0 {
+		return res, nil
+	}
+
+	// Durable handoff: journal the ranges as reclaim offers and consume
+	// the offers BEFORE the heir adopts. A crash after the offer but
+	// before the consume re-offers the ranges to this frontend's next
+	// incarnation (which adopts and re-issues them — the heir never saw
+	// them); a crash after the consume burns at most these ranges. The
+	// reverse order could double-issue: heir adopts, controller crashes,
+	// replay re-offers. On a journal error nothing is adopted anywhere —
+	// offers already durable are recovered at the next boot, the rest
+	// burn; failing toward burn, never toward duplication.
+	if m.cfg.Reclaims != nil {
+		rs := storeRanges(ranges)
+		err := m.cfg.Reclaims.ReleaseRanges(rs)
+		if err == nil {
+			err = m.cfg.Reclaims.AdoptRanges(rs)
 		}
-		if err := heir.AdoptLeases(ranges); err != nil {
-			return res, fmt.Errorf("membership: hand leases to %q: %w", successor, err)
-		}
-		for _, r := range ranges {
-			res.LeasesMoved += r.To - r.From + 1
+		if err != nil {
+			res.Successor = ""
+			return res, fmt.Errorf("membership: journal lease handoff of %q: %w (durable offers are recovered at this frontend's next restart; unjournaled ranges burn)", group, err)
 		}
 	}
+	var heir Member
+	for _, mem := range members {
+		if mem.Group() == successor {
+			heir = mem
+		}
+	}
+	if err := heir.AdoptLeases(ranges); err != nil {
+		// The ranges came from Release and the local free-list is live, so
+		// adopting them here cannot fail validation — the drain still burns
+		// nothing, this frontend just issues them instead of the heir.
+		_ = m.cfg.Counter.Adopt(ranges)
+		res.Successor = m.cfg.Group
+		res.LeasesMoved = countIndexes(ranges)
+		return res, fmt.Errorf("membership: hand leases to %q: %w (%d indexes adopted by %q instead)",
+			successor, err, res.LeasesMoved, m.cfg.Group)
+	}
+	res.LeasesMoved = countIndexes(ranges)
 	return res, nil
+}
+
+// storeRanges converts sharded-counter lease ranges to the store's wire
+// type for the reclaim journal.
+func storeRanges(ranges []ts.IndexRange) []store.IndexRange {
+	out := make([]store.IndexRange, len(ranges))
+	for i, r := range ranges {
+		out[i] = store.IndexRange{From: r.From, To: r.To}
+	}
+	return out
+}
+
+func countIndexes(ranges []ts.IndexRange) int64 {
+	var n int64
+	for _, r := range ranges {
+		n += r.To - r.From + 1
+	}
+	return n
+}
+
+// Repair re-runs the view-change protocol over the current member set at
+// a fresh epoch — the recovery op for a change that failed mid-advance
+// and left some members frozen on an older epoch. It must run on a
+// frontend whose adopted view is the newest (runChange aborts when a
+// member reports a higher epoch), which after a partial advance is any
+// frontend the failed change already advanced.
+func (m *Manager) Repair() (*ChangeResult, error) {
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+
+	m.mu.Lock()
+	cur := m.view
+	urls := copyURLs(m.urls)
+	m.mu.Unlock()
+
+	members := make([]Member, 0, len(cur.Groups))
+	for _, g := range cur.Groups {
+		members = append(members, m.memberFor(g, urls[g]))
+	}
+	next := ring.View{Groups: append([]string(nil), cur.Groups...)}
+	if err := m.runChange(members, cur, &next, urls); err != nil {
+		return nil, err
+	}
+	return &ChangeResult{View: next}, nil
 }
 
 // successorOf picks the group receiving the largest keyspace transfer
@@ -322,34 +407,80 @@ func successorOf(plan *ring.Plan, drained string, survivors []string) string {
 }
 
 // runChange executes the freeze → watermark → advance → resume protocol
-// over the member set. Members are always resumed, success or failure; a
-// partial advance leaves the cluster on mixed epochs, which the operator
-// resolves by re-running the change (advance is idempotent per epoch).
+// over the member set, filling in next's epoch (fresh: above every
+// member's current one, so a retried change never collides with a
+// partially-adopted earlier attempt) and watermark (the highest block
+// any member ever allocated).
+//
+// Failure handling fails toward unavailability, never duplication:
+//
+//   - Abort before any advance: resume exactly the members this run
+//     froze (WasFrozen=false), restoring the status quo without touching
+//     members an earlier failed change left frozen.
+//   - Abort mid-advance: resume only the members that acked the new
+//     view — they all sit on the unique newest epoch and stay mutually
+//     disjoint. Everyone else (including the member whose advance
+//     errored, which may or may not have adopted) STAYS FROZEN, because
+//     old-view members allocating concurrently with new-view ones use a
+//     different stride and can collide. The error names the frozen
+//     groups; the operator re-runs the change or repairs from an
+//     advanced frontend.
+//   - A member reporting an epoch above the controller's view aborts the
+//     change before a watermark is computed: a stale controller's view
+//     may miss groups whose allocations the watermark must cover.
 func (m *Manager) runChange(members []Member, cur ring.View, next *ring.View, nextURLs map[string]string) error {
-	frozen := make([]Member, 0, len(members))
-	defer func() {
-		for _, mem := range frozen {
+	frozeNow := make([]Member, 0, len(members))
+	restore := func() {
+		for _, mem := range frozeNow {
 			_ = mem.Resume()
 		}
-	}()
+	}
 
 	watermark := cur.Watermark
+	maxEpoch := cur.Epoch
+	var ahead []string
 	for _, mem := range members {
-		highest, err := mem.Freeze()
+		info, err := mem.Freeze()
 		if err != nil {
+			restore()
 			return fmt.Errorf("membership: freeze %q: %w", mem.Group(), err)
 		}
-		frozen = append(frozen, mem)
-		if highest > watermark {
-			watermark = highest
+		if !info.WasFrozen {
+			frozeNow = append(frozeNow, mem)
+		}
+		if info.Highest > watermark {
+			watermark = info.Highest
+		}
+		if info.Epoch > maxEpoch {
+			maxEpoch = info.Epoch
+		}
+		if info.Epoch > cur.Epoch {
+			ahead = append(ahead, fmt.Sprintf("%s (epoch %d)", mem.Group(), info.Epoch))
 		}
 	}
+	if len(ahead) > 0 {
+		restore()
+		return fmt.Errorf("membership: controller view %d is stale — members ahead: %s; drive the change from the highest-epoch frontend",
+			cur.Epoch, strings.Join(ahead, ", "))
+	}
+	next.Epoch = maxEpoch + 1
 	next.Watermark = watermark
 
-	for _, mem := range members {
+	for i, mem := range members {
 		if err := mem.Advance(*next, nextURLs); err != nil {
-			return fmt.Errorf("membership: advance %q to view %d: %w", mem.Group(), next.Epoch, err)
+			for _, adv := range members[:i] {
+				_ = adv.Resume()
+			}
+			var frozen []string
+			for _, rest := range members[i:] {
+				frozen = append(frozen, rest.Group())
+			}
+			return fmt.Errorf("membership: advance %q to view %d: %w — groups %s stay frozen (unavailable, not colliding); re-run the change, or POST %s on an advanced frontend once the fault clears",
+				mem.Group(), next.Epoch, err, strings.Join(frozen, ", "), PathRepair)
 		}
+	}
+	for _, mem := range members {
+		_ = mem.Resume()
 	}
 	return nil
 }
@@ -365,11 +496,12 @@ const (
 	PathView    = "/v1/membership/view"
 	PathJoin    = "/v1/admin/join"
 	PathDrain   = "/v1/admin/drain"
+	PathRepair  = "/v1/admin/repair"
 )
 
-// wire payloads for the member and admin endpoints.
+// wire payloads for the member and admin endpoints (Freeze responds
+// with a bare FreezeInfo).
 type (
-	wireFreezeResp struct{ Highest int64 }
 	wireAdvanceReq struct {
 		View ring.View         `json:"view"`
 		URLs map[string]string `json:"urls"`
@@ -401,8 +533,8 @@ func (m *Manager) Handler() http.Handler {
 		if !postOnly(w, r) {
 			return
 		}
-		highest, err := self.Freeze()
-		respond(w, wireFreezeResp{Highest: highest}, err)
+		info, err := self.Freeze()
+		respond(w, info, err)
 	})
 	mux.HandleFunc(PathAdvance, func(w http.ResponseWriter, r *http.Request) {
 		if !postOnly(w, r) {
@@ -460,6 +592,13 @@ func (m *Manager) Handler() http.Handler {
 			return
 		}
 		res, err := m.Drain(req.Group)
+		respond(w, res, err)
+	})
+	mux.HandleFunc(PathRepair, func(w http.ResponseWriter, r *http.Request) {
+		if !postOnly(w, r) {
+			return
+		}
+		res, err := m.Repair()
 		respond(w, res, err)
 	})
 	return mux

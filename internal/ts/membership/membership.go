@@ -27,13 +27,22 @@
 // round, which establishes a fenced epoch above any prior coordinator
 // and reads the majority frontier before the first block maps.
 //
-// Liveness through failures is the operator's loop: if a member dies
-// mid-change, the controller resumes the survivors and reports the
-// error; the change is re-run once the member is back (advance is
-// idempotent per epoch, so members that already adopted the view ack
-// again). A frontend crash outside a view change is handled by
-// epoch-fenced takeover instead (Coordinator.Fence), which needs no
-// membership round at all.
+// Liveness through failures fails toward unavailability, never toward
+// duplication. If a change dies before any member advanced, the
+// controller resumes exactly the members it froze — status quo
+// restored. If it dies mid-advance, members already on the new epoch
+// resume and serve, while the rest STAY FROZEN: resuming them would let
+// two epochs allocate concurrently with different strides, whose block
+// regions can collide. The operator re-runs the change once the fault
+// clears — a retry allocates a fresh epoch above every member's current
+// one, so already-advanced members never see a stale epoch — or, when
+// the member set is already the intended one, POSTs /v1/admin/repair on
+// an advanced frontend to re-advance everyone onto a fresh epoch.
+// Controllers whose view a member has outrun abort before computing a
+// watermark (the member's allocations would not be covered) and name
+// the frontend to drive the change from. A frontend crash outside a
+// view change is handled by epoch-fenced takeover instead
+// (Coordinator.Fence), which needs no membership round at all.
 package membership
 
 import (
@@ -45,15 +54,37 @@ import (
 	"repro/internal/ts/ring"
 )
 
+// FreezeInfo is what a member reports from Freeze: the input a
+// controller needs to compute a safe watermark and to unwind safely when
+// the change aborts.
+type FreezeInfo struct {
+	// Highest is the highest global block the member's group ever
+	// allocated, across restarts (derived from the durable quorum
+	// frontier, possibly over-approximated — safe, see
+	// ring.DynamicStripe.Freeze).
+	Highest int64 `json:"highest"`
+	// Epoch is the member's currently adopted view epoch. The controller
+	// allocates the next epoch above every member's, and aborts when a
+	// member is ahead of its own view (a stale controller must not pick
+	// the watermark).
+	Epoch int64 `json:"epoch"`
+	// WasFrozen reports whether the member was already frozen before
+	// this call — i.e. by an earlier change attempt that failed
+	// mid-advance. A controller aborting before any advance resumes only
+	// members with WasFrozen=false, leaving the earlier failure's
+	// fail-frozen state intact.
+	WasFrozen bool `json:"wasFrozen"`
+}
+
 // Member is one replica group's handle in a view change, implemented
 // in-process by the controller's own Manager and over HTTP for every
 // other frontend.
 type Member interface {
 	// Group returns the member's group name.
 	Group() string
-	// Freeze pauses the member's allocations and returns the highest
-	// global block it ever allocated. Idempotent.
-	Freeze() (int64, error)
+	// Freeze pauses the member's allocations and reports its all-time
+	// block frontier, current epoch, and prior frozen state. Idempotent.
+	Freeze() (FreezeInfo, error)
 	// Advance adopts the new view (and the accompanying frontend URL
 	// map), persisting both durably before returning. The member stays
 	// frozen until Resume.

@@ -1,6 +1,7 @@
 package membership
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -58,6 +59,53 @@ func newFrontend(t *testing.T, group string, v ring.View, urls map[string]string
 	f.server = httptest.NewServer(mgr.Handler())
 	t.Cleanup(f.server.Close)
 	return f
+}
+
+// gatedFrontend is newFrontend plus a per-path fault injector: member
+// endpoints whose path is stored in the returned map answer 502, the
+// stand-in for a frontend that is up but failing mid-change.
+func gatedFrontend(t *testing.T, group string, v ring.View, urls map[string]string, reg *metrics.Registry, reclaims *store.Counter) (*frontend, *sync.Map) {
+	t.Helper()
+	stripe, err := ring.NewDynamicStripe(&seqCounter{}, group, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := ts.NewShardedCounter(stripe, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(Config{
+		Group:    group,
+		Stripe:   stripe,
+		Counter:  counter,
+		Reclaims: reclaims,
+		Registry: reg,
+	}, v, urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &frontend{group: group, counter: counter, manager: mgr}
+	var failing sync.Map
+	h := mgr.Handler()
+	f.server = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, down := failing.Load(r.URL.Path); down {
+			http.Error(w, "injected fault", http.StatusBadGateway)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}))
+	t.Cleanup(f.server.Close)
+	return f, &failing
+}
+
+// patchURLs rewires a manager's frontend URL map after the test servers
+// exist (URLs are needed at construction, before they are known).
+func patchURLs(fs []*frontend, urls map[string]string) {
+	for _, f := range fs {
+		f.manager.mu.Lock()
+		f.manager.urls = copyURLs(urls)
+		f.manager.mu.Unlock()
+	}
 }
 
 // TestJoinDrainLifecycle drives the full protocol over real HTTP member
@@ -232,6 +280,207 @@ func TestAdvanceIdempotentPerEpoch(t *testing.T) {
 	}
 	if st, err := rem.FetchState(); err != nil || st.View.Epoch != 2 {
 		t.Fatalf("FetchState = %+v, %v", st, err)
+	}
+}
+
+// TestPartialAdvanceKeepsUnadvancedFrozen pins the fail-frozen policy:
+// when an advance dies halfway, members already on the new epoch resume
+// and serve while everyone else stays frozen (unavailable, never
+// allocating on a stale epoch whose stride could collide), a retry from
+// a stale member refuses to pick a watermark, and Repair from an
+// advanced frontend converges the whole cluster on a fresh epoch.
+func TestPartialAdvanceKeepsUnadvancedFrozen(t *testing.T) {
+	reg := metrics.NewRegistry()
+	v1 := ring.View{Epoch: 1, Groups: []string{"a", "b"}}
+	pending := map[string]string{"a": "pending", "b": "pending"}
+	fa, _ := gatedFrontend(t, "a", v1, pending, reg, nil)
+	fb, failB := gatedFrontend(t, "b", v1, pending, reg, nil)
+	fc, _ := gatedFrontend(t, "c", v1, pending, reg, nil)
+	patchURLs([]*frontend{fa, fb, fc}, map[string]string{"a": fa.server.URL, "b": fb.server.URL})
+
+	seen := make(map[int64]string)
+	issue := func(f *frontend, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			idx, err := f.counter.Next()
+			if err != nil {
+				t.Fatalf("%s: %v", f.group, err)
+			}
+			if prev, dup := seen[idx]; dup {
+				t.Fatalf("index %d issued by both %s and %s", idx, prev, f.group)
+			}
+			seen[idx] = f.group
+		}
+	}
+	issue(fa, 9)
+	issue(fb, 9)
+
+	// The join advances a (the controller, in-process) first, then dies
+	// at b. c is frozen but never advanced.
+	failB.Store(PathAdvance, true)
+	_, err := fa.manager.Join("c", fc.server.URL)
+	if err == nil {
+		t.Fatal("partial advance reported success")
+	}
+	if !strings.Contains(err.Error(), "stay frozen") || !strings.Contains(err.Error(), "b") {
+		t.Fatalf("error does not name the kept-frozen groups: %v", err)
+	}
+
+	// The advanced controller serves on the new epoch; the unadvanced
+	// members stay frozen instead of resuming onto the old one.
+	if e := fa.manager.View().Epoch; e != 2 {
+		t.Fatalf("controller epoch = %d, want 2", e)
+	}
+	issue(fa, 9)
+	for _, f := range []*frontend{fb, fc} {
+		info, err := (local{f.manager}).Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.WasFrozen {
+			t.Fatalf("%s was resumed despite not advancing", f.group)
+		}
+		if info.Epoch != 1 {
+			t.Fatalf("%s epoch = %d, want 1", f.group, info.Epoch)
+		}
+	}
+
+	// A retried join from the advanced controller refuses — its view
+	// already contains the joiner; Repair is the recovery op.
+	if _, err := fa.manager.Join("c", fc.server.URL); err == nil || !strings.Contains(err.Error(), "already a member") {
+		t.Fatalf("retried join from advanced controller = %v", err)
+	}
+
+	// A retry from the stale member aborts before computing a watermark
+	// (its view cannot cover the advanced member's allocations), naming
+	// the member that is ahead — and leaves b frozen.
+	failB.Delete(PathAdvance)
+	if _, err := fb.manager.Join("c", fc.server.URL); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale-controller join = %v", err)
+	}
+	if info, err := (local{fb.manager}).Freeze(); err != nil || !info.WasFrozen {
+		t.Fatalf("stale-controller abort resumed b: %+v, %v", info, err)
+	}
+
+	// Repair from the advanced frontend: everyone lands on a fresh epoch
+	// above both the advanced and the stale members, and issuance stays
+	// globally unique across the whole ordeal.
+	res, err := fa.manager.Repair()
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if res.View.Epoch != 3 || res.View.Slot("c") < 0 {
+		t.Fatalf("repaired view = %+v, want epoch 3 containing c", res.View)
+	}
+	for _, f := range []*frontend{fa, fb, fc} {
+		if e := f.manager.View().Epoch; e != 3 {
+			t.Fatalf("%s epoch = %d after repair, want 3", f.group, e)
+		}
+	}
+	issue(fa, 9)
+	issue(fb, 9)
+	issue(fc, 9)
+}
+
+// TestDrainHandoffJournalAndHeirFallback pins the durable lease
+// handoff: the drained remainders are journaled (offer then consume)
+// before the heir adopts, and when the heir's adopt fails the
+// controller adopts them itself — the drain degrades to a different
+// successor, never to burned indexes.
+func TestDrainHandoffJournalAndHeirFallback(t *testing.T) {
+	// Consistent hashing decides the heir; gate its adopt endpoint and
+	// drive the drain from the other survivor.
+	plan, err := ring.PlanChange([]string{"a", "b", "c"}, []string{"a", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heir := successorOf(plan, "b", []string{"a", "c"})
+	ctrl := "a"
+	if heir == "a" {
+		ctrl = "c"
+	}
+
+	reg := metrics.NewRegistry()
+	v1 := ring.View{Epoch: 1, Groups: []string{"a", "b", "c"}}
+	backend := store.NewMemory()
+	reclaims, err := store.OpenCounter(backend, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending := map[string]string{"a": "pending", "b": "pending", "c": "pending"}
+	fs := map[string]*frontend{}
+	gates := map[string]*sync.Map{}
+	urls := map[string]string{}
+	for _, g := range []string{"a", "b", "c"} {
+		var rc *store.Counter
+		if g == ctrl {
+			rc = reclaims
+		}
+		fs[g], gates[g] = gatedFrontend(t, g, v1, pending, reg, rc)
+		urls[g] = fs[g].server.URL
+	}
+	patchURLs([]*frontend{fs["a"], fs["b"], fs["c"]}, urls)
+
+	// b issues so it holds unexhausted lease remainders to hand over.
+	for i := 0; i < 5; i++ {
+		if _, err := fs["b"].counter.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gates[heir].Store(PathAdopt, true)
+	res, err := fs[ctrl].manager.Drain("b")
+	if err == nil || !strings.Contains(err.Error(), "adopted by") {
+		t.Fatalf("drain with failing heir = %v, want the fallback-adoption error", err)
+	}
+	if res == nil || res.Successor != ctrl {
+		t.Fatalf("fallback successor = %+v, want %s", res, ctrl)
+	}
+	if res.LeasesMoved == 0 {
+		t.Fatal("drain moved no leases despite unexhausted blocks")
+	}
+	if got := fs[ctrl].counter.Reclaimed(); got != res.LeasesMoved {
+		t.Fatalf("controller reclaimed %d indexes, drain reported %d", got, res.LeasesMoved)
+	}
+
+	// The handshake is journaled: every offer has a matching consume, so
+	// a replay offers nothing — exactly one adopter, even across a crash.
+	_, recs, err := backend.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offers, adopts := 0, 0
+	for _, rec := range recs {
+		switch rec.Kind {
+		case store.KindReclaim:
+			offers++
+		case store.KindAdopt:
+			adopts++
+		}
+	}
+	if offers == 0 || offers != adopts {
+		t.Fatalf("journal holds %d offers and %d adopts, want matched and non-zero", offers, adopts)
+	}
+	restarted, err := store.OpenCounter(backend, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left, err := restarted.PendingReclaims(); err != nil || len(left) != 0 {
+		t.Fatalf("consumed offers re-offered after restart: %+v, %v", left, err)
+	}
+
+	// The fallback-adopted indexes resurface from the controller exactly
+	// once.
+	seen := map[int64]bool{}
+	for i := int64(0); i < res.LeasesMoved+8; i++ {
+		idx, err := fs[ctrl].counter.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[idx] {
+			t.Fatalf("index %d issued twice by the fallback adopter", idx)
+		}
+		seen[idx] = true
 	}
 }
 

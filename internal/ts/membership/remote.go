@@ -33,12 +33,12 @@ const DefaultMemberTimeout = 5 * time.Second
 
 func (r *Remote) Group() string { return r.GroupName }
 
-func (r *Remote) Freeze() (int64, error) {
-	var resp wireFreezeResp
+func (r *Remote) Freeze() (FreezeInfo, error) {
+	var resp FreezeInfo
 	if err := r.post(PathFreeze, struct{}{}, &resp); err != nil {
-		return 0, err
+		return FreezeInfo{}, err
 	}
-	return resp.Highest, nil
+	return resp, nil
 }
 
 func (r *Remote) Advance(v ring.View, urls map[string]string) error {

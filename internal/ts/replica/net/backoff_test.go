@@ -46,6 +46,23 @@ func TestBackoffDelayBounded(t *testing.T) {
 	}
 }
 
+// TestBackoffDelaySubMillisecondCap pins that the cap is a hard bound
+// even below the 1ms jitter floor: a 200µs cap must never be exceeded,
+// or the documented worst-case duel stall (maxProposeRounds × cap)
+// silently grows 5× for fast-timing configurations.
+func TestBackoffDelaySubMillisecondCap(t *testing.T) {
+	for _, cap := range []time.Duration{200 * time.Microsecond, time.Microsecond, time.Millisecond} {
+		rng := rand.New(rand.NewSource(99))
+		for contention := 0; contention <= 20; contention++ {
+			for i := 0; i < 500; i++ {
+				if d := backoffDelay(contention, rng, cap); d > cap || d <= 0 {
+					t.Fatalf("cap %v contention %d: delay %v outside (0, cap]", cap, contention, d)
+				}
+			}
+		}
+	}
+}
+
 // TestBackoffDelayDeterministic pins that a fixed seed reproduces the
 // exact delay sequence — the property chaos-run triage relies on.
 func TestBackoffDelayDeterministic(t *testing.T) {

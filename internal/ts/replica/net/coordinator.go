@@ -25,8 +25,11 @@ const (
 	// the in-process QuorumCounter.
 	maxProposeRounds = 64
 	// maxFenceRounds bounds epoch escalation against dueling
-	// coordinators.
-	maxFenceRounds = 16
+	// coordinators. It matches maxProposeRounds: several coordinators
+	// refencing concurrently (e.g. a cold fleet start, or the race
+	// detector slowing every round) can legitimately collide for
+	// dozens of rounds before the jittered backoff desynchronizes them.
+	maxFenceRounds = 64
 	// downAfter is the consecutive-failure count at which a replica is
 	// suspected down.
 	downAfter = 3
@@ -250,19 +253,42 @@ func (c *Coordinator) backoffLocked() {
 }
 
 // backoffDelay computes one jittered backoff: uniform in
-// [1ms, min(2^contention ms, cap)]. Pure so the bound is testable with a
-// seeded source — no jitter roll may exceed cap, which in turn bounds
-// the worst-case stall of a full grant duel (maxProposeRounds × cap)
-// below any chaos-scenario deadline.
+// [min(1ms, cap), min(2^contention ms, cap)]. Pure so the bound is
+// testable with a seeded source — no jitter roll may exceed cap, even a
+// sub-millisecond one, which in turn bounds the worst-case stall of a
+// full grant duel (maxProposeRounds × cap) below any chaos-scenario
+// deadline.
 func backoffDelay(contention int, rng *rand.Rand, cap time.Duration) time.Duration {
 	ceil := time.Duration(1<<uint(min(contention, 30))) * time.Millisecond
 	if ceil > cap {
 		ceil = cap
 	}
-	if ceil < time.Millisecond {
-		ceil = time.Millisecond
+	floor := time.Millisecond
+	if floor > cap {
+		floor = cap
 	}
-	return time.Millisecond + time.Duration(rng.Int63n(int64(ceil-time.Millisecond)+1))
+	if ceil < floor {
+		ceil = floor
+	}
+	return floor + time.Duration(rng.Int63n(int64(ceil-floor)+1))
+}
+
+// Frontier returns the durable sequence frontier of the replica group:
+// the highest value any coordinator incarnation ever committed, read
+// from a majority (any committed value lives on some majority, which
+// intersects the one read). An epoch is fenced first if this coordinator
+// holds none, so a displaced predecessor cannot commit new values after
+// the read — the property a membership freeze needs when it derives the
+// group's all-time block frontier from this value.
+func (c *Coordinator) Frontier() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.fenced {
+		if err := c.fenceLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return c.readMaxLocked()
 }
 
 // readMaxLocked reads a majority of replica states and returns the

@@ -39,6 +39,40 @@ func newCoordinator(t *testing.T, urls []string) *Coordinator {
 	return c
 }
 
+// TestCoordinatorFrontier pins what a membership freeze relies on: the
+// frontier covers every lease any coordinator incarnation ever
+// committed — including one a fresh coordinator (a restarted frontend)
+// has never seen — and fails closed without a quorum.
+func TestCoordinatorFrontier(t *testing.T) {
+	servers, urls := startGroup(t, 3)
+	c1 := newCoordinator(t, urls)
+	var last int64
+	for i := 0; i < 7; i++ {
+		v, err := c1.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = v
+	}
+	c2 := newCoordinator(t, urls) // restarted frontend: empty local state
+	got, err := c2.Frontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < last {
+		t.Fatalf("Frontier = %d, below committed lease %d", got, last)
+	}
+	if c2.Epoch() == 0 {
+		t.Fatal("Frontier did not fence an epoch first")
+	}
+	for _, s := range servers[:2] {
+		_ = s.Close()
+	}
+	if _, err := c2.Frontier(); !errors.Is(err, replica.ErrNoQuorum) {
+		t.Fatalf("Frontier without quorum = %v, want ErrNoQuorum", err)
+	}
+}
+
 func TestCoordinatorValidation(t *testing.T) {
 	if _, err := NewCoordinator(nil, Options{}); err == nil {
 		t.Error("empty peer set accepted")

@@ -139,6 +139,14 @@ func (q *QuorumCounter) Next() (int64, error) {
 	return 0, fmt.Errorf("replica: no progress after %d rounds", maxProposeRounds)
 }
 
+// Frontier returns the highest value any frontend ever committed on the
+// cluster, read from a majority — the in-process analogue of the
+// networked Coordinator.Frontier, used by a membership freeze to derive
+// a group's all-time block frontier.
+func (q *QuorumCounter) Frontier() (int64, error) {
+	return q.readMax()
+}
+
 func (q *QuorumCounter) readMax() (int64, error) {
 	responses := 0
 	var max int64

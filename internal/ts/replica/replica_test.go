@@ -38,6 +38,33 @@ func TestSequentialAllocation(t *testing.T) {
 	}
 }
 
+// TestFrontierReadsCommittedMax pins the membership-freeze contract: a
+// fresh frontend's Frontier covers every value already committed, and
+// fails closed without a quorum.
+func TestFrontierReadsCommittedMax(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := c.Counter()
+	if got, err := ctr.Frontier(); err != nil || got != 0 {
+		t.Fatalf("fresh Frontier = %d, %v", got, err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := ctr.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err := c.Counter().Frontier(); err != nil || got != 5 {
+		t.Fatalf("Frontier = %d, %v, want 5", got, err)
+	}
+	c.Kill(0)
+	c.Kill(1)
+	if _, err := ctr.Frontier(); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("Frontier without quorum = %v, want ErrNoQuorum", err)
+	}
+}
+
 func TestConcurrentFrontendsUnique(t *testing.T) {
 	// § VII-B: replicated TSes coordinate on the counter; no two may issue
 	// the same one-time index.

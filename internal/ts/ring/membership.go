@@ -82,6 +82,16 @@ func (v View) Validate() error {
 // has not been advanced into a view yet).
 var ErrNotMember = fmt.Errorf("ring: group is not a member of the current view")
 
+// FrontierReader is implemented by underlying counters that can report
+// their durable sequence frontier: the highest value any incarnation of
+// any coordinator ever committed (both quorum coordinator flavors read
+// it from a replica majority). DynamicStripe.Freeze uses it to report a
+// block frontier that survives frontend restarts — the in-memory highest
+// only covers blocks mapped since boot.
+type FrontierReader interface {
+	Frontier() (int64, error)
+}
+
 // DynamicStripe is the epoch-aware replacement for Stripe: it maps its
 // group's local allocation sequence onto the global block space under
 // the current membership view, and supports live view changes through a
@@ -110,7 +120,7 @@ type DynamicStripe struct {
 	view     View
 	slot     int   // -1 when group ∉ view.Groups
 	baseK    int64 // underlying sequence value at view adoption; epoch-local j = k - baseK
-	highest  int64 // highest global block this stripe ever returned
+	highest  int64 // highest global block mapped since boot; Freeze folds in the durable frontier
 	frozen   bool
 	inflight int // Next calls between the frozen check and their completion
 }
@@ -208,16 +218,60 @@ func (s *DynamicStripe) Next() (int64, error) {
 }
 
 // Freeze pauses new allocations, waits for in-flight ones to complete,
-// and returns the highest block the stripe ever allocated — the group's
-// contribution to the next view's watermark. It is idempotent.
-func (s *DynamicStripe) Freeze() int64 {
+// and returns the highest block the stripe's group ever allocated — the
+// group's contribution to the next view's watermark — plus whether the
+// stripe was already frozen before this call (a controller uses that to
+// restore the status quo when its change aborts without touching members
+// an earlier, failed change left frozen).
+//
+// The in-memory highest only covers blocks mapped since boot. When the
+// underlying counter is a FrontierReader, Freeze also maps the durable
+// sequence frontier through the current view and folds it in, so the
+// reported frontier covers blocks issued by previous incarnations too —
+// a restarted frontend reporting a frontier below blocks it already
+// issued would let the next change compute a watermark that re-maps
+// them into duplicates. The durable frontier may exceed the truly
+// mapped maximum (sequence values burned as epoch bases, or granted by
+// a crashed incarnation, map to blocks never issued); that only pushes
+// the watermark up, which burns block ids but never duplicates one.
+//
+// A frontier-read failure leaves the stripe as it was found (unfrozen,
+// unless an earlier freeze is still in effect) and reports the error —
+// freezing on a stale frontier is exactly the unsafe case.
+func (s *DynamicStripe) Freeze() (int64, bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	wasFrozen := s.frozen
 	s.frozen = true
 	for s.inflight > 0 {
 		s.cond.Wait()
 	}
-	return s.highest
+	view, slot, baseK := s.view, s.slot, s.baseK
+	s.mu.Unlock()
+
+	// The quorum read runs outside the lock; no Next can race it (the
+	// stripe is frozen and in-flight allocations drained above), so the
+	// frontier covers every sequence value this view ever mapped.
+	if fr, ok := s.underlying.(FrontierReader); ok && slot >= 0 {
+		k, err := fr.Frontier()
+		if err != nil {
+			if !wasFrozen {
+				s.Resume()
+			}
+			return 0, wasFrozen, fmt.Errorf("ring: read durable frontier: %w", err)
+		}
+		if k > baseK {
+			durable := view.Watermark + (k-baseK-1)*int64(len(view.Groups)) + int64(slot) + 1
+			s.mu.Lock()
+			if durable > s.highest {
+				s.highest = durable
+			}
+			s.mu.Unlock()
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.highest, wasFrozen, nil
 }
 
 // Advance adopts a new view while frozen and returns the base sequence

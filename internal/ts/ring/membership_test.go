@@ -87,7 +87,11 @@ func TestDynamicStripeUniquenessAcrossViews(t *testing.T) {
 	// c joins: freeze members, compute watermark, advance everyone.
 	w := v1.Watermark
 	for _, g := range []string{"a", "b"} {
-		if h := stripes[g].Freeze(); h > w {
+		h, _, err := stripes[g].Freeze()
+		if err != nil {
+			t.Fatalf("freeze %s: %v", g, err)
+		}
+		if h > w {
 			w = h
 		}
 	}
@@ -96,7 +100,9 @@ func TestDynamicStripeUniquenessAcrossViews(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc.Freeze()
+	if _, _, err := sc.Freeze(); err != nil {
+		t.Fatal(err)
+	}
 	stripes["c"] = sc
 	for _, g := range []string{"a", "b", "c"} {
 		if _, err := stripes[g].Advance(v2); err != nil {
@@ -117,7 +123,11 @@ func TestDynamicStripeUniquenessAcrossViews(t *testing.T) {
 	// b drains.
 	w = v2.Watermark
 	for _, g := range []string{"a", "b", "c"} {
-		if h := stripes[g].Freeze(); h > w {
+		h, _, err := stripes[g].Freeze()
+		if err != nil {
+			t.Fatalf("freeze %s: %v", g, err)
+		}
+		if h > w {
 			w = h
 		}
 	}
@@ -152,7 +162,9 @@ func TestDynamicStripeRestartFromPersistedBase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1.Freeze()
+	if _, _, err := s1.Freeze(); err != nil {
+		t.Fatal(err)
+	}
 	base, err := s1.Advance(v)
 	if err != nil {
 		t.Fatal(err)
@@ -183,6 +195,71 @@ func TestDynamicStripeRestartFromPersistedBase(t *testing.T) {
 		if got <= v.Watermark {
 			t.Fatalf("block %d at or below watermark %d", got, v.Watermark)
 		}
+	}
+}
+
+// frontierCounter is a seqCounter that also exposes its durable
+// frontier, as both quorum coordinator flavors do.
+type frontierCounter struct{ seqCounter }
+
+func (c *frontierCounter) Frontier() (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n, nil
+}
+
+// TestDynamicStripeFreezeSurvivesRestart pins the restart hole the
+// durable-frontier derivation closes: a stripe rebuilt from persisted
+// (view, baseK) state has an empty in-memory frontier, but Freeze must
+// still report a value covering every block the previous incarnation
+// issued — otherwise the next membership change computes a watermark
+// below issued blocks and re-maps them.
+func TestDynamicStripeFreezeSurvivesRestart(t *testing.T) {
+	under := &frontierCounter{}
+	v := View{Epoch: 1, Groups: []string{"a", "b"}}
+	s1, err := NewDynamicStripe(under, "a", v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var issued int64
+	for i := 0; i < 9; i++ {
+		got, err := s1.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > issued {
+			issued = got
+		}
+	}
+	h1, _, err := s1.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != issued {
+		t.Fatalf("pre-restart frontier %d, want %d", h1, issued)
+	}
+	s1.Resume()
+
+	// "Restart": same underlying counter, persisted view + base (0 —
+	// the boot view was never re-adopted), no in-memory history.
+	s2, err := NewDynamicStripe(under, "a", v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, wasFrozen, err := s2.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wasFrozen {
+		t.Fatal("fresh stripe reported wasFrozen")
+	}
+	if h2 < issued {
+		t.Fatalf("post-restart frontier %d below issued block %d", h2, issued)
+	}
+
+	// A second freeze reports the prior one.
+	if _, again, err := s2.Freeze(); err != nil || !again {
+		t.Fatalf("re-freeze = (wasFrozen %v, err %v), want (true, nil)", again, err)
 	}
 }
 
@@ -217,7 +294,13 @@ func TestDynamicStripeFreezeDrainsInflight(t *testing.T) {
 		}
 	}
 	frontier := make(chan int64, 1)
-	go func() { frontier <- s.Freeze() }()
+	go func() {
+		h, _, err := s.Freeze()
+		if err != nil {
+			t.Error(err)
+		}
+		frontier <- h
+	}()
 	close(release)
 	n := <-got
 	if f := <-frontier; f < n {
