@@ -83,8 +83,11 @@ func main() {
 		join    = flag.Bool("join", false, "shard: live-resharding cells — a replica group joins mid-run through the membership protocol")
 
 		txs        = flag.Int("txs", 192, "chain: guarded transactions per cell")
-		senders    = flag.Int("senders", 16, "chain: distinct client accounts")
-		chainModes = flag.String("chainmodes", "", "chain: comma-separated subset of naive,wnaf,cached,batched")
+		senders    = flag.Int("senders", 32, "chain: distinct client accounts (= -batch ⇒ conflict-light batches, < -batch ⇒ intra-batch conflicts)")
+		chainModes = flag.String("chainmodes", "", "chain: comma-separated subset of "+strings.Join(bench.ChainModes, ","))
+
+		sched       = flag.String("sched", "", `e2e: Chain.Execute scheduler for the batch submitter ("serial", "prevalidate", "optimistic"; empty = each scenario's own, normally prevalidate)`)
+		metricsDump = flag.String("metrics-dump", "", "chain: after the sweep, write the process metrics registry (Prometheus text format) to this path")
 
 		scenario      = flag.String("scenario", "", "e2e: comma-separated subset of "+strings.Join(bench.ScenarioNames(), ",")+` (or "all", the default)`)
 		smoke         = flag.Bool("smoke", false, "e2e: small deterministic sizing (the scale the CI envelope pins)")
@@ -100,7 +103,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateSelection(*mode, *scenario, *modes, *chainModes, *smoke, *envelopePath, *writeEnvelope, *storeKind, *dirPath, *fsyncBatch, *benchJSON, *tracePath); err != nil {
+	if err := validateSelection(*mode, *scenario, *modes, *chainModes, *smoke, *envelopePath, *writeEnvelope, *storeKind, *dirPath, *fsyncBatch, *benchJSON, *tracePath, *sched, *metricsDump); err != nil {
 		fmt.Fprintln(os.Stderr, "smacs-bench:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -126,10 +129,10 @@ func main() {
 			err = runLoad(*workers, *duration, *warmup, *onetime, *rtt, *batch, *modes,
 				*storeKind, *dirPath, *fsyncBatch, *csvPath, benchPath, *asJSON, flusher)
 		case "chain":
-			err = runChain(*workers, *txs, *senders, *batch, *chainModes, *csvPath, benchPath, *asJSON, flusher)
+			err = runChain(*workers, *txs, *senders, *batch, *chainModes, *csvPath, benchPath, *metricsDump, *asJSON, flusher)
 		case "e2e":
 			err = runE2E(*scenario, *smoke, *envelopePath, *writeEnvelope,
-				*dirPath, *fsyncBatch, *csvPath, benchPath, *tracePath, *asJSON, flusher)
+				*dirPath, *fsyncBatch, *csvPath, benchPath, *tracePath, *sched, *asJSON, flusher)
 		case "shard":
 			err = runShard(*groups, *clients, *ops, *batch, *rtt, *join, *csvPath, benchPath, *asJSON, flusher)
 		}
@@ -154,7 +157,7 @@ func main() {
 // -chainmodes entries, and e2e-only flags outside -mode e2e. Catching
 // these up front means a typo exits with a usage message instead of
 // silently discarding minutes of completed sweep cells.
-func validateSelection(mode, scenario, modes, chainModes string, smoke bool, envelopePath, writeEnvelope, storeKind, dirPath string, fsyncBatch int, benchJSON, tracePath string) error {
+func validateSelection(mode, scenario, modes, chainModes string, smoke bool, envelopePath, writeEnvelope, storeKind, dirPath string, fsyncBatch int, benchJSON, tracePath, sched, metricsDump string) error {
 	switch mode {
 	case "", "load", "chain", "e2e", "shard":
 	default:
@@ -229,6 +232,17 @@ func validateSelection(mode, scenario, modes, chainModes string, smoke bool, env
 	}
 	if tracePath != "" && mode != "e2e" {
 		return fmt.Errorf("-trace requires -mode e2e")
+	}
+	if sched != "" {
+		if mode != "e2e" {
+			return fmt.Errorf("-sched requires -mode e2e (the chain sweep selects schedulers via -chainmodes)")
+		}
+		if _, err := bench.ParseScheduler(sched); err != nil {
+			return err
+		}
+	}
+	if metricsDump != "" && mode != "chain" {
+		return fmt.Errorf("-metrics-dump requires -mode chain (e2e scenarios use isolated per-scenario registries)")
 	}
 	// "auto" is the default and silently degrades to "no artifact" for the
 	// paper tables; an explicit path outside the sweep modes is a mistake.
@@ -328,7 +342,7 @@ func emitSweep(res sweepResult, csvPath string, asJSON bool) error {
 	return nil
 }
 
-func runChain(workers string, txs, senders, batch int, modes, csvPath, benchPath string, asJSON bool, flusher *partialFlusher) error {
+func runChain(workers string, txs, senders, batch int, modes, csvPath, benchPath, metricsDump string, asJSON bool, flusher *partialFlusher) error {
 	cfg := bench.ChainConfig{
 		Txs:       txs,
 		Senders:   senders,
@@ -350,6 +364,18 @@ func runChain(workers string, txs, senders, batch int, modes, csvPath, benchPath
 	}
 	if err := emitSweep(res, csvPath, asJSON); err != nil {
 		return err
+	}
+	if metricsDump != "" {
+		// The sweep's chains all report into the process-default registry,
+		// so this snapshot carries the evm_exec_* families CI asserts on.
+		var b strings.Builder
+		if err := metrics.Default().WritePrometheus(&b); err != nil {
+			return fmt.Errorf("render metrics: %w", err)
+		}
+		if err := os.WriteFile(metricsDump, []byte(b.String()), 0o644); err != nil {
+			return fmt.Errorf("write metrics dump: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", metricsDump)
 	}
 	return writeBenchArtifact(benchPath, "chain", res)
 }
@@ -427,7 +453,7 @@ func runShard(groups string, clients, ops, batch int, rtt time.Duration, join bo
 // runE2E drives the end-to-end scenario harness and, when asked, writes
 // or checks the correctness-count envelope. An envelope mismatch is an
 // error, so CI fails the build on functional drift in the full pipeline.
-func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, dir string, fsyncBatch int, csvPath, benchPath, tracePath string, asJSON bool, flusher *partialFlusher) error {
+func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, dir string, fsyncBatch int, csvPath, benchPath, tracePath, sched string, asJSON bool, flusher *partialFlusher) error {
 	if scenario == "all" {
 		scenario = ""
 	}
@@ -436,6 +462,7 @@ func runE2E(scenario string, smoke bool, envelopePath, writeEnvelope, dir string
 		Smoke:      smoke,
 		Dir:        dir,
 		FsyncBatch: fsyncBatch,
+		Scheduler:  sched,
 	}
 	var tracer *metrics.Tracer
 	if tracePath != "" {

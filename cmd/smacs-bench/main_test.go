@@ -149,6 +149,8 @@ func TestValidateSelection(t *testing.T) {
 		fsyncBatch int
 		benchJSON  string // "" maps to the "auto" flag default
 		trace      string
+		sched      string
+		dump       string
 		wantErr    string // "" = valid
 	}{
 		{name: "paper tables", mode: ""},
@@ -186,6 +188,13 @@ func TestValidateSelection(t *testing.T) {
 		{name: "explicit bench-json", mode: "chain", benchJSON: "out/BENCH_chain.json"},
 		{name: "bench-json outside sweep modes", mode: "", benchJSON: "x.json", wantErr: "-bench-json requires -mode"},
 		{name: "smoke outside e2e (shard)", mode: "shard", smoke: true, wantErr: "-smoke requires -mode e2e"},
+
+		{name: "optimistic chain mode", mode: "chain", chainModes: "cached,optimistic"},
+		{name: "e2e sched", mode: "e2e", smoke: true, sched: "optimistic"},
+		{name: "unknown sched", mode: "e2e", sched: "warp", wantErr: `unknown scheduler "warp"`},
+		{name: "sched outside e2e", mode: "chain", sched: "serial", wantErr: "-sched requires -mode e2e"},
+		{name: "chain metrics dump", mode: "chain", dump: "out/metrics.prom"},
+		{name: "metrics dump outside chain", mode: "e2e", dump: "out/metrics.prom", wantErr: "-metrics-dump requires -mode chain"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -197,7 +206,7 @@ func TestValidateSelection(t *testing.T) {
 			if benchJSON == "" {
 				benchJSON = "auto"
 			}
-			err := validateSelection(tt.mode, tt.scenario, tt.modes, tt.chainModes, tt.smoke, tt.envelope, tt.writeEnv, store, tt.dir, tt.fsyncBatch, benchJSON, tt.trace)
+			err := validateSelection(tt.mode, tt.scenario, tt.modes, tt.chainModes, tt.smoke, tt.envelope, tt.writeEnv, store, tt.dir, tt.fsyncBatch, benchJSON, tt.trace, tt.sched, tt.dump)
 			if tt.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -17,13 +17,16 @@ import (
 // ChainModes are the runtime-verification pipelines the chain sweep
 // compares, cumulative from left to right:
 //
-//	naive   — reference: naive double-and-add ecrecover, no caches,
-//	          serial Chain.Apply
-//	wnaf    — wNAF/GLV/Shamir ecrecover, no caches, serial Apply
-//	cached  — wNAF plus the sender and token-signer caches, serial Apply
-//	batched — everything above driven through Chain.ApplyBatch with the
-//	          parallel prevalidation pool and the core.TokenPrehook
-var ChainModes = []string{"naive", "wnaf", "cached", "batched"}
+//	naive      — reference: naive double-and-add ecrecover, no caches,
+//	             serial Chain.Apply
+//	wnaf       — wNAF/GLV/Shamir ecrecover, no caches, serial Apply
+//	cached     — wNAF plus the sender and token-signer caches, serial Apply
+//	batched    — everything above driven through Chain.Execute with the
+//	             prevalidate scheduler: parallel batched sender recovery
+//	             and core.BatchTokenPrehook, serial commit
+//	optimistic — everything above plus Block-STM optimistic-parallel
+//	             execution of the state transitions themselves
+var ChainModes = []string{"naive", "wnaf", "cached", "batched", "optimistic"}
 
 // ChainConfig parameterizes the guarded-transaction throughput sweep.
 type ChainConfig struct {
@@ -32,10 +35,11 @@ type ChainConfig struct {
 	// Senders is the number of distinct client accounts; transactions are
 	// interleaved round-robin so each sender's nonces stay ordered.
 	Senders int `json:"senders"`
-	// BatchSize is the transactions per ApplyBatch call in batched mode.
+	// BatchSize is the transactions per Execute call in the batched and
+	// optimistic modes.
 	BatchSize int `json:"batchSize"`
-	// Workers are the prevalidation worker counts swept in batched mode
-	// (serial modes ignore them and report workers = 1).
+	// Workers are the worker counts swept in the batched and optimistic
+	// modes (serial modes ignore them and report workers = 1).
 	Workers []int `json:"workers"`
 	// Modes restricts the sweep (nil = all of ChainModes).
 	Modes []string `json:"modes,omitempty"`
@@ -46,8 +50,12 @@ type ChainConfig struct {
 }
 
 // DefaultChainConfig returns the sweep the BENCHMARKS.md table uses.
+// Senders equals BatchSize so the round-robin interleave puts exactly one
+// transaction per sender into each batch: a conflict-light workload whose
+// write-sets are disjoint, the case the optimistic scheduler is built
+// for. Conflict-heavy shapes are swept by setting Senders < BatchSize.
 func DefaultChainConfig() ChainConfig {
-	return ChainConfig{Txs: 192, Senders: 16, BatchSize: 32, Workers: []int{1, 2, 4, 8}}
+	return ChainConfig{Txs: 192, Senders: 32, BatchSize: 32, Workers: []int{1, 2, 4, 8}}
 }
 
 // ChainRow is one cell: a pipeline at a worker count.
@@ -150,7 +158,7 @@ func newChainCell(cfg ChainConfig) (*chainCell, error) {
 // transactions.
 func pipelineToggles(mode string) (restore func()) {
 	prevFast := secp256k1.SetFastMult(mode != "naive")
-	caches := mode == "cached" || mode == "batched"
+	caches := mode == "cached" || mode == "batched" || mode == "optimistic"
 	prevSender := evm.SetSenderCache(false) // purge
 	prevToken := core.SetTokenSigCache(false)
 	evm.SetSenderCache(caches)
@@ -172,16 +180,21 @@ func runChainCell(mode string, cfg ChainConfig, workers int) (ChainRow, error) {
 
 	start := time.Now()
 	switch mode {
-	case "batched":
-		hook := core.TokenPrehook(cell.tsAddr, cell.chain.Config().ChainID)
+	case "batched", "optimistic":
+		sched := evm.SchedulerPrevalidate
+		if mode == "optimistic" {
+			sched = evm.SchedulerOptimistic
+		}
+		hook := core.BatchTokenPrehook(cell.tsAddr, cell.chain.Config().ChainID)
 		for off := 0; off < len(cell.txs); off += cfg.BatchSize {
 			end := off + cfg.BatchSize
 			if end > len(cell.txs) {
 				end = len(cell.txs)
 			}
-			for i, res := range cell.chain.ApplyBatch(cell.txs[off:end], evm.BatchOptions{
-				Workers:     workers,
-				Prevalidate: hook,
+			for i, res := range cell.chain.Execute(cell.txs[off:end], evm.ExecOptions{
+				Scheduler:        sched,
+				Workers:          workers,
+				PrevalidateBatch: hook,
 			}) {
 				if res.Err != nil {
 					return ChainRow{}, fmt.Errorf("tx %d: %w", off+i, res.Err)
@@ -254,7 +267,7 @@ func Chain(cfg ChainConfig) (*ChainResult, error) {
 	res := &ChainResult{Config: cfg}
 	for _, mode := range modes {
 		sweep := []int{1}
-		if mode == "batched" {
+		if mode == "batched" || mode == "optimistic" {
 			sweep = cfg.Workers
 		}
 		for _, workers := range sweep {

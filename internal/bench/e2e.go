@@ -49,6 +49,11 @@ type E2EConfig struct {
 	// CI can sweep timings while any single run stays reproducible. The
 	// correctness counts must be seed-independent — that is the point.
 	ChaosSeed int64 `json:"chaosSeed,omitempty"`
+	// Scheduler, when non-empty, overrides every scenario's Execute
+	// scheduler ("serial", "prevalidate", "optimistic"). Correctness
+	// counts are scheduler-independent, so the same envelope pins all
+	// three.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
 // E2ECounts are the correctness counts of one scenario run. Every field is
@@ -156,8 +161,14 @@ func E2E(cfg E2EConfig) (*E2EResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := ParseScheduler(cfg.Scheduler); err != nil {
+		return nil, err
+	}
 	res := &E2EResult{Config: cfg}
 	for _, sc := range scenarios {
+		if cfg.Scheduler != "" {
+			sc.Scheduler = cfg.Scheduler
+		}
 		var row E2ERow
 		if sc.Durable {
 			row, err = runDurable(sc, cfg)
@@ -729,11 +740,16 @@ func cacheRate(h0, m0 uint64, stats func() (uint64, uint64)) float64 {
 }
 
 // startSubmitter launches the batch submitter draining e.sub into
-// ApplyBatch calls of TxBatch transactions, with token-signature
+// Chain.Execute calls of TxBatch transactions under the scenario's
+// scheduler (prevalidate by default), with batched token-signature
 // prevalidation in the parallel pool outside the chain mutex. It returns
 // the channel closed when e.sub has been closed and fully drained.
 func (e *e2eEnv) startSubmitter(tsAddr types.Address) chan struct{} {
-	hook := core.TokenPrehook(tsAddr, e.chain.Config().ChainID)
+	sched, err := ParseScheduler(e.cfg.Scheduler)
+	if err != nil {
+		panic(err) // scenario configs are validated before the run starts
+	}
+	hook := core.BatchTokenPrehook(tsAddr, e.chain.Config().ChainID)
 	subDone := make(chan struct{})
 	go func() {
 		defer close(subDone)
@@ -746,9 +762,10 @@ func (e *e2eEnv) startSubmitter(tsAddr types.Address) chan struct{} {
 			for i, op := range pending {
 				txs[i] = op.tx
 			}
-			results := e.chain.ApplyBatch(txs, evm.BatchOptions{
-				Workers:     e.cfg.Workers,
-				Prevalidate: hook,
+			results := e.chain.Execute(txs, evm.ExecOptions{
+				Scheduler:        sched,
+				Workers:          e.cfg.Workers,
+				PrevalidateBatch: hook,
 			})
 			end := time.Now()
 			for i, res := range results {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"repro/internal/evm"
+	"repro/internal/secp256k1"
+	"repro/internal/sigcache"
 	"repro/internal/types"
 )
 
@@ -40,5 +42,67 @@ func TokenPrehook(tsAddr types.Address, chainID uint64) func(*evm.Transaction) {
 		binding := Binding{Origin: origin, Contract: tx.To, Data: appData}
 		copy(binding.Selector[:], appData[:4])
 		_ = tk.VerifySignature(tsAddr, binding)
+	}
+}
+
+// BatchTokenPrehook is the batch-first form of TokenPrehook, for
+// evm.ExecOptions.PrevalidateBatch: it gathers the top-level token
+// signatures of a whole sub-batch and recovers their signers through
+// secp256k1.RecoverAddressBatch, amortizing the modular inversions of
+// per-item recovery, before installing them in the token-signer cache.
+// Like TokenPrehook it is best-effort and side-effect-only: malformed
+// entries are skipped and the authoritative Verifier.Verify checks run
+// again at execution time. Safe for concurrent use on disjoint
+// sub-batches.
+func BatchTokenPrehook(tsAddr types.Address, chainID uint64) func([]*evm.Transaction) {
+	return func(txs []*evm.Transaction) {
+		if !TokenSigCacheEnabled() {
+			return
+		}
+		var (
+			digests [][32]byte
+			sigs    []secp256k1.Signature
+			keys    []string
+		)
+		for _, tx := range txs {
+			if len(tx.Tokens) == 0 {
+				continue
+			}
+			tk, err := TokenFor(tx.Tokens, tx.To)
+			if err != nil {
+				continue
+			}
+			if tk.Signature.R == nil || tk.Signature.S == nil || tk.Signature.Validate() != nil {
+				continue
+			}
+			origin, err := tx.Sender(chainID)
+			if err != nil {
+				continue
+			}
+			appData, err := tx.AppData()
+			if err != nil || len(appData) < 4 {
+				continue
+			}
+			binding := Binding{Origin: origin, Contract: tx.To, Data: appData}
+			copy(binding.Selector[:], appData[:4])
+			digest := Digest(tk.Type, tk.Expire, tk.Index, binding)
+			key := sigcache.Key([32]byte(digest), tk.Signature.Bytes())
+			if _, ok := tokenSigCache.Get(key); ok {
+				continue
+			}
+			digests = append(digests, [32]byte(digest))
+			sigs = append(sigs, tk.Signature)
+			keys = append(keys, key)
+		}
+		if len(digests) == 0 {
+			return
+		}
+		addrs, errs := secp256k1.RecoverAddressBatch(digests, sigs)
+		for i, key := range keys {
+			if errs[i] != nil {
+				continue
+			}
+			tokenSigCache.Add(key, addrs[i])
+		}
 	}
 }

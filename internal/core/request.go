@@ -196,6 +196,47 @@ func (r *Request) VerifyProof() error {
 	return nil
 }
 
+// VerifyProofBatch checks the proofs of possession of many requests at
+// once, amortizing the modular inversions of per-item recovery through
+// secp256k1.RecoverAddressBatch. The i-th error matches what
+// reqs[i].VerifyProof() returns — the batch path is an optimization,
+// never a semantic change.
+func VerifyProofBatch(reqs []*Request) []error {
+	errs := make([]error, len(reqs))
+	var (
+		idx     []int
+		digests [][32]byte
+		sigs    []secp256k1.Signature
+	)
+	for i, r := range reqs {
+		if len(r.Proof) == 0 {
+			errs[i] = fmt.Errorf("%w: missing proof of possession", ErrBadRequest)
+			continue
+		}
+		sig, err := secp256k1.ParseSignature(r.Proof)
+		if err != nil {
+			errs[i] = fmt.Errorf("%w: proof: %v", ErrBadRequest, err)
+			continue
+		}
+		idx = append(idx, i)
+		digests = append(digests, [32]byte(r.ProofDigest()))
+		sigs = append(sigs, sig)
+	}
+	if len(idx) == 0 {
+		return errs
+	}
+	addrs, rerrs := secp256k1.RecoverAddressBatch(digests, sigs)
+	for j, i := range idx {
+		switch {
+		case rerrs[j] != nil:
+			errs[i] = fmt.Errorf("%w: proof: %v", ErrBadRequest, rerrs[j])
+		case addrs[j] != reqs[i].Sender:
+			errs[i] = fmt.Errorf("%w: proof signed by %s, not sender %s", ErrBadRequest, addrs[j], reqs[i].Sender)
+		}
+	}
+	return errs
+}
+
 // ValueKey canonicalizes an argument value for rule-list matching:
 // addresses as 0x-hex, integers in decimal, booleans as true/false, byte
 // slices as 0x-hex, strings verbatim.

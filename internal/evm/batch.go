@@ -1,13 +1,9 @@
 package evm
 
-import (
-	"runtime"
-	"sync"
-	"time"
-)
-
-// BatchResult pairs the outcome of one transaction in an ApplyBatch call:
-// exactly one of Receipt/Err is set, mirroring Apply's return values.
+// BatchResult pairs the outcome of one transaction in an Execute /
+// ApplyBatch call: exactly one of Receipt/Err is set, mirroring Apply's
+// return values (a commit that executed but failed to persist carries
+// both).
 type BatchResult struct {
 	// Receipt is the execution receipt of the committed transaction.
 	Receipt *Receipt
@@ -16,89 +12,28 @@ type BatchResult struct {
 	Err error
 }
 
-// BatchOptions parameterizes ApplyBatch.
+// BatchOptions parameterizes ApplyBatch. New code should use
+// Chain.Execute with ExecOptions, which adds scheduler selection and
+// batch-first prevalidation hooks.
 type BatchOptions struct {
 	// Workers bounds the prevalidation pool; 0 means GOMAXPROCS.
 	Workers int
 	// Prevalidate, when set, runs once per transaction in the parallel
-	// prevalidation phase, outside the chain mutex. It is a warm-up hook —
-	// core.TokenPrehook uses it to verify token signatures ahead of the
-	// serial commit — and must be safe for concurrent use. It communicates
-	// only by side effect (warming caches): the authoritative checks run
-	// again at commit.
+	// prevalidation phase, outside the chain mutex. See
+	// ExecOptions.Prevalidate.
 	Prevalidate func(*Transaction)
 }
 
-// ApplyBatch verifies and executes a batch of signed transactions. The
-// expensive, state-independent verification work — signature recovery for
-// every sender and, via the Prevalidate hook, token-signature verification —
-// runs first in a bounded worker pool without holding the chain mutex; the
-// state transitions then commit serially in slice order, each mining its
-// own block exactly as Apply does. Per-sender nonce ordering is therefore
-// the slice order.
-//
-// The i-th result corresponds to txs[i]. A rejected transaction does not
-// abort the batch; later transactions still commit.
+// ApplyBatch verifies and executes a batch of signed transactions with
+// the prevalidate scheduler: parallel sender recovery and prevalidation
+// hooks outside the chain mutex, then a serial commit in slice order. It
+// is a thin wrapper over Execute — new code should call Execute directly
+// and pick a Scheduler (the optimistic scheduler also parallelizes the
+// state transitions themselves).
 func (ch *Chain) ApplyBatch(txs []*Transaction, opts BatchOptions) []BatchResult {
-	results := make([]BatchResult, len(txs))
-	if len(txs) == 0 {
-		return results
-	}
-	ch.metrics.batchSize.Observe(float64(len(txs)))
-
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(txs) {
-		workers = len(txs)
-	}
-
-	// Phase 1: prevalidate in parallel, outside the chain mutex. Sender
-	// recovery populates each transaction's memo (and the shared sender
-	// cache), so the serial commit below only re-hashes and compares —
-	// with the sender cache disabled the recovery result could not be
-	// handed to the commit phase, so it is skipped rather than wasted.
-	// Recovery errors are deliberately dropped here — applyLocked
-	// re-derives them deterministically, keeping Apply and ApplyBatch
-	// behaviour identical for bad transactions.
-	recoverSenders := senderCacheOn.Load()
-	if recoverSenders || opts.Prevalidate != nil {
-		prevalidateStart := time.Now()
-		chainID := ch.cfg.ChainID
-		var wg sync.WaitGroup
-		next := make(chan *Transaction)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for tx := range next {
-					if recoverSenders {
-						_, _ = tx.Sender(chainID)
-					}
-					if opts.Prevalidate != nil {
-						opts.Prevalidate(tx)
-					}
-				}
-			}()
-		}
-		for _, tx := range txs {
-			next <- tx
-		}
-		close(next)
-		wg.Wait()
-		ch.metrics.prevalidate.ObserveDuration(time.Since(prevalidateStart))
-	}
-
-	// Phase 2: commit serially under the chain mutex.
-	commitStart := time.Now()
-	ch.mu.Lock()
-	defer func() {
-		ch.mu.Unlock()
-		ch.metrics.commit.ObserveDuration(time.Since(commitStart))
-	}()
-	for i, tx := range txs {
-		results[i].Receipt, results[i].Err = ch.applyLocked(tx)
-	}
-	return results
+	return ch.Execute(txs, ExecOptions{
+		Scheduler:   SchedulerPrevalidate,
+		Workers:     opts.Workers,
+		Prevalidate: opts.Prevalidate,
+	})
 }

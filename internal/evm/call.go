@@ -24,6 +24,7 @@ var ErrMaxCallDepth = errors.New("evm: max call depth exceeded")
 // (msg.value). All storage and compute performed through it is gas-charged.
 type Call struct {
 	chain     *Chain
+	sdb       stateStore
 	origin    types.Address
 	caller    types.Address
 	self      types.Address
@@ -129,7 +130,7 @@ func (c *Call) LoadAs(cat gas.Category, slot types.Hash) (types.Hash, error) {
 	if err := c.meter.Charge(cat, gas.SLoad); err != nil {
 		return types.Hash{}, err
 	}
-	word := c.chain.db.GetState(c.self, slot)
+	word := c.sdb.GetState(c.self, slot)
 	c.trace.add(TraceEvent{Kind: TraceSLoad, Depth: c.depth, From: c.self, To: c.self, Slot: slot, Word: word})
 	return word, nil
 }
@@ -142,7 +143,7 @@ func (c *Call) Store(slot, word types.Hash) error {
 
 // StoreAs is Store with an explicit gas category.
 func (c *Call) StoreAs(cat gas.Category, slot, word types.Hash) error {
-	prev := c.chain.db.GetState(c.self, slot)
+	prev := c.sdb.GetState(c.self, slot)
 	cost := gas.SStoreReset
 	if prev.IsZero() && !word.IsZero() {
 		cost = gas.SStoreSet
@@ -150,7 +151,7 @@ func (c *Call) StoreAs(cat gas.Category, slot, word types.Hash) error {
 	if err := c.meter.Charge(cat, cost); err != nil {
 		return err
 	}
-	c.chain.db.SetState(c.self, slot, word)
+	c.sdb.SetState(c.self, slot, word)
 	c.trace.add(TraceEvent{Kind: TraceSStore, Depth: c.depth, From: c.self, To: c.self, Slot: slot, Word: word})
 	return nil
 }
@@ -176,7 +177,7 @@ func (c *Call) BalanceOf(addr types.Address) (*big.Int, error) {
 	if err := c.meter.Charge(gas.CatApp, 700); err != nil {
 		return nil, err
 	}
-	return c.chain.db.Balance(addr), nil
+	return c.sdb.Balance(addr), nil
 }
 
 // CallContract performs a message call from this frame to another contract
@@ -195,6 +196,7 @@ func (c *Call) CallContract(to types.Address, method string, value *big.Int, arg
 		return nil, err
 	}
 	return c.chain.execute(execParams{
+		sdb:       c.sdb,
 		origin:    c.origin,
 		caller:    c.self,
 		to:        to,
@@ -218,7 +220,7 @@ func (c *Call) Transfer(to types.Address, amount *big.Int) error {
 	cost := gas.Call
 	if amount != nil && amount.Sign() > 0 {
 		cost += gas.CallValue
-		if !c.chain.db.Exists(to) {
+		if !c.sdb.Exists(to) {
 			cost += gas.NewAccount
 		}
 	}
@@ -226,10 +228,10 @@ func (c *Call) Transfer(to types.Address, amount *big.Int) error {
 		return err
 	}
 	c.trace.add(TraceEvent{Kind: TraceTransfer, Depth: c.depth, From: c.self, To: to, Amount: cpBig(amount)})
-	if err := c.chain.db.SubBalance(c.self, amount); err != nil {
+	if err := c.sdb.SubBalance(c.self, amount); err != nil {
 		return err
 	}
-	c.chain.db.AddBalance(to, amount)
+	c.sdb.AddBalance(to, amount)
 
 	target, ok := c.chain.contracts[to]
 	if !ok || target.fallback == nil {
@@ -238,6 +240,7 @@ func (c *Call) Transfer(to types.Address, amount *big.Int) error {
 	// Run the fallback in a fresh frame; its failure reverts the transfer.
 	inner := &Call{
 		chain:     c.chain,
+		sdb:       c.sdb,
 		origin:    c.origin,
 		caller:    c.self,
 		self:      to,
@@ -273,6 +276,7 @@ func (c *Call) Invoke(method string, args ...any) ([]any, error) {
 	}
 	inner := &Call{
 		chain:     c.chain,
+		sdb:       c.sdb,
 		origin:    c.origin,
 		caller:    c.caller, // internal calls preserve msg.sender
 		self:      c.self,

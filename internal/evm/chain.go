@@ -79,6 +79,24 @@ type Receipt struct {
 	TxHash types.Hash
 }
 
+// stateStore is the state-access surface transaction execution runs
+// against. The committed *state.DB implements it for serial execution;
+// *state.View implements it for optimistic-parallel execution, where each
+// transaction speculates against its own read/write-tracked window onto a
+// multi-version memory (see Execute and internal/state).
+type stateStore interface {
+	Exists(addr types.Address) bool
+	Balance(addr types.Address) *big.Int
+	AddBalance(addr types.Address, amount *big.Int)
+	SubBalance(addr types.Address, amount *big.Int) error
+	Nonce(addr types.Address) uint64
+	IncNonce(addr types.Address)
+	GetState(addr types.Address, slot types.Hash) types.Hash
+	SetState(addr types.Address, slot types.Hash, value types.Hash) types.Hash
+	Snapshot() int
+	RevertToSnapshot(id int)
+}
+
 // Chain is a single-node simulated Ethereum chain. All methods are safe for
 // concurrent use.
 type Chain struct {
@@ -183,6 +201,16 @@ func (ch *Chain) ContractAt(addr types.Address) (*Contract, bool) {
 	return c, ok
 }
 
+// StateDigest returns a keccak digest of the committed world state's
+// canonical snapshot encoding. Chains that executed equivalent histories
+// digest identically, whatever scheduler produced the commits — the
+// serial-equivalence tests assert on it.
+func (ch *Chain) StateDigest() (types.Hash, error) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.db.Digest()
+}
+
 // Height returns the current block height.
 func (ch *Chain) Height() uint64 {
 	ch.mu.Lock()
@@ -256,16 +284,17 @@ func (ch *Chain) Deploy(creator types.Address, contract *Contract) (types.Addres
 }
 
 // Apply verifies and executes a signed transaction, mining it into a new
-// block. Verification mirrors Ethereum: signature recovery, strict nonce
-// match (replay protection), and balance coverage of value + max fee.
+// block. It is a thin wrapper over Execute with the serial scheduler; see
+// Execute for the full execution API. Verification mirrors Ethereum:
+// signature recovery, strict nonce match (replay protection), and balance
+// coverage of value + max fee.
 func (ch *Chain) Apply(tx *Transaction) (*Receipt, error) {
-	ch.mu.Lock()
-	defer ch.mu.Unlock()
-	return ch.applyLocked(tx)
+	res := ch.Execute([]*Transaction{tx}, ExecOptions{Scheduler: SchedulerSerial})
+	return res[0].Receipt, res[0].Err
 }
 
-// applyLocked is the body of Apply; the chain mutex must be held. ApplyBatch
-// uses it to commit prevalidated transactions serially.
+// applyLocked is the body of the serial scheduler; the chain mutex must be
+// held.
 func (ch *Chain) applyLocked(tx *Transaction) (*Receipt, error) {
 	receipt, err := ch.applyAtLocked(tx, ch.cfg.Now())
 	// Outcomes are recorded here, not in applyAtLocked, so durable replay
@@ -274,15 +303,38 @@ func (ch *Chain) applyLocked(tx *Transaction) (*Receipt, error) {
 	return receipt, err
 }
 
-// applyAtLocked executes tx against the given block time. Durable replay
-// calls it with the logged time of the original execution, so
-// time-dependent checks (token expiry) repeat identically.
+// applyAtLocked executes tx against the committed state at the given block
+// time, then mines and persists it. Durable replay calls it with the
+// logged time of the original execution, so time-dependent checks (token
+// expiry) repeat identically.
 func (ch *Chain) applyAtLocked(tx *Transaction, blockTime time.Time) (*Receipt, error) {
+	receipt, err := ch.applyOn(ch.db, tx, blockTime)
+	if err != nil {
+		return nil, err
+	}
+	ch.mineLocked(receipt.TxHash, receipt, blockTime)
+
+	// Persist the commit before returning. A transaction that mined a
+	// block (even with a failed execution) changed state — nonce, gas,
+	// possibly a revert-logged receipt — and must survive a crash.
+	if err := ch.persistCommitLocked(tx, blockTime); err != nil {
+		return receipt, err
+	}
+	return receipt, nil
+}
+
+// applyOn runs the full state transition of one transaction — signature,
+// nonce, and balance checks, gas purchase, execution, revert handling, and
+// gas refund — against an arbitrary state store, without mining a block or
+// persisting. The serial path passes the committed DB; the optimistic
+// scheduler passes a per-transaction state.View. A nil receipt with a
+// non-nil error means the transaction was rejected before touching state.
+func (ch *Chain) applyOn(sdb stateStore, tx *Transaction, blockTime time.Time) (*Receipt, error) {
 	sender, err := tx.Sender(ch.cfg.ChainID)
 	if err != nil {
 		return nil, err
 	}
-	switch nonce := ch.db.Nonce(sender); {
+	switch nonce := sdb.Nonce(sender); {
 	case tx.Nonce < nonce:
 		return nil, fmt.Errorf("%w: tx nonce %d, account nonce %d", ErrNonceTooLow, tx.Nonce, nonce)
 	case tx.Nonce > nonce:
@@ -292,7 +344,7 @@ func (ch *Chain) applyAtLocked(tx *Transaction, blockTime time.Time) (*Receipt, 
 	gasPrice := cpBig(tx.GasPrice)
 	maxFee := new(big.Int).Mul(gasPrice, new(big.Int).SetUint64(tx.GasLimit))
 	need := new(big.Int).Add(maxFee, cpBig(tx.Value))
-	if ch.db.Balance(sender).Cmp(need) < 0 {
+	if sdb.Balance(sender).Cmp(need) < 0 {
 		return nil, fmt.Errorf("%w: %s needs %s wei", ErrInsufficientETH, sender, need)
 	}
 
@@ -311,8 +363,8 @@ func (ch *Chain) applyAtLocked(tx *Transaction, blockTime time.Time) (*Receipt, 
 	}
 
 	// Buy gas up front; refund the unused remainder afterwards.
-	ch.db.IncNonce(sender)
-	if err := ch.db.SubBalance(sender, maxFee); err != nil {
+	sdb.IncNonce(sender)
+	if err := sdb.SubBalance(sender, maxFee); err != nil {
 		return nil, err
 	}
 
@@ -320,21 +372,22 @@ func (ch *Chain) applyAtLocked(tx *Transaction, blockTime time.Time) (*Receipt, 
 	_ = meter.Charge(gas.CatIntrinsic, intrinsic) // checked above
 
 	trace := &Trace{}
-	snap := ch.db.Snapshot()
+	snap := sdb.Snapshot()
 
 	receipt := &Receipt{Trace: trace, TxHash: txHash}
 	var execErr error
 	if tx.Method == "" && tx.RawData == nil {
 		// Plain value transfer.
-		execErr = ch.db.SubBalance(sender, tx.Value)
+		execErr = sdb.SubBalance(sender, tx.Value)
 		if execErr == nil {
-			ch.db.AddBalance(tx.To, tx.Value)
+			sdb.AddBalance(tx.To, tx.Value)
 		}
 	} else {
 		var appData []byte
 		appData, execErr = tx.AppData()
 		if execErr == nil {
 			receipt.Return, execErr = ch.execute(execParams{
+				sdb:       sdb,
 				origin:    sender,
 				caller:    sender,
 				to:        tx.To,
@@ -349,7 +402,7 @@ func (ch *Chain) applyAtLocked(tx *Transaction, blockTime time.Time) (*Receipt, 
 		}
 	}
 	if execErr != nil {
-		ch.db.RevertToSnapshot(snap)
+		sdb.RevertToSnapshot(snap)
 		receipt.Err = execErr
 	}
 	receipt.Status = execErr == nil
@@ -359,16 +412,7 @@ func (ch *Chain) applyAtLocked(tx *Transaction, blockTime time.Time) (*Receipt, 
 
 	// Refund unused gas.
 	unused := new(big.Int).SetUint64(meter.Remaining())
-	ch.db.AddBalance(sender, unused.Mul(unused, gasPrice))
-
-	ch.mineLocked(txHash, receipt, blockTime)
-
-	// Persist the commit before returning. A transaction that mined a
-	// block (even with a failed execution) changed state — nonce, gas,
-	// possibly a revert-logged receipt — and must survive a crash.
-	if err := ch.persistCommitLocked(tx, blockTime); err != nil {
-		return receipt, err
-	}
+	sdb.AddBalance(sender, unused.Mul(unused, gasPrice))
 	return receipt, nil
 }
 
@@ -388,6 +432,7 @@ func (ch *Chain) StaticCall(from, to types.Address, method string, args []any, t
 	trace := &Trace{}
 	snap := ch.db.Snapshot()
 	ret, execErr := ch.execute(execParams{
+		sdb:       ch.db,
 		origin:    from,
 		caller:    from,
 		to:        to,
@@ -414,6 +459,7 @@ func (ch *Chain) StaticCall(from, to types.Address, method string, args []any, t
 
 // execParams carries the inputs of one call frame execution.
 type execParams struct {
+	sdb                stateStore
 	origin, caller, to types.Address
 	value              *big.Int
 	appData            []byte
@@ -426,7 +472,8 @@ type execParams struct {
 
 // execute runs one call frame: resolves the contract and method, moves
 // value, runs the handler, and reverts the frame's state changes on error.
-// The chain mutex must be held.
+// All state access goes through p.sdb; when that is the committed DB the
+// chain mutex must be held.
 func (ch *Chain) execute(p execParams) ([]any, error) {
 	contract, ok := ch.contracts[p.to]
 	if !ok {
@@ -451,16 +498,17 @@ func (ch *Chain) execute(p execParams) ([]any, error) {
 		return nil, fmt.Errorf("decode args of %s.%s: %w", contract.name, method.Name, err)
 	}
 
-	snap := ch.db.Snapshot()
+	snap := p.sdb.Snapshot()
 	if value.Sign() > 0 {
-		if err := ch.db.SubBalance(p.caller, value); err != nil {
+		if err := p.sdb.SubBalance(p.caller, value); err != nil {
 			return nil, err
 		}
-		ch.db.AddBalance(p.to, value)
+		p.sdb.AddBalance(p.to, value)
 	}
 
 	frame := &Call{
 		chain:     ch,
+		sdb:       p.sdb,
 		origin:    p.origin,
 		caller:    p.caller,
 		self:      p.to,
@@ -479,7 +527,7 @@ func (ch *Chain) execute(p execParams) ([]any, error) {
 	ret, err := method.Handler(frame)
 	p.trace.add(TraceEvent{Kind: TraceReturn, Depth: p.depth, From: p.to, To: p.caller, Method: method.Name, Err: errString(err)})
 	if err != nil {
-		ch.db.RevertToSnapshot(snap)
+		p.sdb.RevertToSnapshot(snap)
 		return nil, err
 	}
 	return ret, nil

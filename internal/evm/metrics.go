@@ -16,6 +16,9 @@ const (
 	MetricBatchSize          = "evm_apply_batch_size"
 	MetricSenderCacheHits    = "evm_sender_cache_hits_total"
 	MetricSenderCacheMisses  = "evm_sender_cache_misses_total"
+	MetricExecConflicts      = "evm_exec_conflicts_total"
+	MetricExecReexecutions   = "evm_exec_reexecutions"
+	MetricExecParallelSecs   = "evm_exec_parallel_seconds"
 )
 
 // chainMetrics holds one Chain's instrumentation handles. Outcome
@@ -26,6 +29,9 @@ type chainMetrics struct {
 	prevalidate *metrics.Histogram
 	commit      *metrics.Histogram
 	batchSize   *metrics.Histogram
+	conflicts   *metrics.Counter
+	reexecs     *metrics.Histogram
+	parallel    *metrics.Histogram
 	outcomes    sync.Map // outcome label -> *metrics.Counter
 }
 
@@ -38,6 +44,12 @@ func newChainMetrics(reg *metrics.Registry) *chainMetrics {
 			"ApplyBatch phase 2: serial state commit under the chain mutex, per batch.", nil),
 		batchSize: reg.Histogram(MetricBatchSize,
 			"Transactions per ApplyBatch call.", metrics.DefSizeBuckets),
+		conflicts: reg.Counter(MetricExecConflicts,
+			"Optimistic-scheduler validation failures: executions whose read-set was invalidated by an earlier transaction's write."),
+		reexecs: reg.Histogram(MetricExecReexecutions,
+			"Re-executions per optimistic batch (total executions minus batch size).", metrics.DefSizeBuckets),
+		parallel: reg.Histogram(MetricExecParallelSecs,
+			"Optimistic-scheduler parallel execute+validate phase, per batch.", nil),
 	}
 	// The recovery caches are process-wide; expose them as scrape-time
 	// funcs so their pre-existing atomics are the single source of truth.

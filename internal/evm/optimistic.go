@@ -1,0 +1,178 @@
+package evm
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/state"
+)
+
+// Optimistic-parallel batch execution (Block-STM style).
+//
+// Every transaction executes speculatively against its own state.View
+// over a shared multi-version memory: reads resolve to the
+// highest-indexed speculative write below the reader's slice position
+// (falling back to committed state) and are version-tracked; writes
+// buffer in the view and publish on completion. After each wave the
+// batch is validated in slice order — a transaction whose read-set was
+// invalidated by an earlier transaction's write is a conflict and
+// re-executes in the next wave. The transaction at the contiguous
+// validated frontier only ever reads finalized versions, so every wave
+// finalizes at least one transaction and the loop terminates in at most
+// n waves. Once every position validates, write-sets are applied to the
+// committed DB, blocks are mined, and commits persist — in slice order,
+// making the whole batch serially equivalent: receipts are
+// byte-identical to executing the slice one transaction at a time.
+//
+// Block timestamps are drawn once per transaction before the first wave
+// (still in slice order), so re-executions see a stable clock; with the
+// default wall clock they differ from serial execution's
+// commit-interleaved timestamps by microseconds, and with the fixed
+// clocks used in tests they are identical.
+
+// txExec tracks one transaction's latest speculative execution.
+type txExec struct {
+	receipt  *Receipt
+	err      error
+	reads    *state.ReadSet
+	writes   *state.WriteSet
+	inc      int // incarnation: number of executions so far
+	panicked any // recovered panic value of the latest execution, if any
+}
+
+// executeOptimistic runs the optimistic scheduler over txs and fills
+// results. Called from Execute after the prevalidation phase, without the
+// chain mutex held.
+func (ch *Chain) executeOptimistic(txs []*Transaction, workers int, results []BatchResult) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+
+	n := len(txs)
+	times := make([]time.Time, n)
+	for i := range times {
+		times[i] = ch.cfg.Now()
+	}
+
+	mv := state.NewMultiVersion(ch.db)
+	execs := make([]txExec, n)
+	pending := make([]int, n)
+	for i := range pending {
+		pending[i] = i
+	}
+
+	parallelStart := time.Now()
+	totalExecs, conflicts := 0, 0
+	for final := 0; final < n; {
+		ch.runWave(mv, txs, times, execs, pending, workers)
+		totalExecs += len(pending)
+		pending = pending[:0]
+
+		// Validate in slice order from the frontier. Positions that stay
+		// valid but sit above a conflict are left executed — they are
+		// revalidated (cheaply) next round rather than re-executed.
+		for i := final; i < n; i++ {
+			e := &execs[i]
+			if !mv.Validate(e.reads, i) {
+				conflicts++
+				pending = append(pending, i)
+				continue
+			}
+			if e.panicked != nil {
+				if i == final {
+					// The frontier transaction read only finalized state,
+					// so a serial execution panics identically: propagate.
+					panic(e.panicked)
+				}
+				pending = append(pending, i)
+				continue
+			}
+			if i == final && len(pending) == 0 {
+				final = i + 1
+			}
+		}
+	}
+	ch.metrics.parallel.ObserveDuration(time.Since(parallelStart))
+
+	// Commit phase: apply validated write-sets to the committed DB, mine,
+	// and persist in slice order.
+	commitStart := time.Now()
+	for i := 0; i < n; i++ {
+		e := &execs[i]
+		if e.err != nil {
+			results[i].Err = e.err
+			ch.metrics.recordOutcome(txOutcome(nil, e.err))
+			continue
+		}
+		ch.db.ApplyWrites(e.writes)
+		ch.mineLocked(e.receipt.TxHash, e.receipt, times[i])
+		results[i].Receipt = e.receipt
+		if perr := ch.persistCommitLocked(txs[i], times[i]); perr != nil {
+			results[i].Err = perr
+		}
+		ch.metrics.recordOutcome(txOutcome(e.receipt, results[i].Err))
+	}
+	ch.metrics.commit.ObserveDuration(time.Since(commitStart))
+	ch.metrics.conflicts.Add(uint64(conflicts))
+	ch.metrics.reexecs.Observe(float64(totalExecs - n))
+}
+
+// runWave executes the pending transaction indices in parallel, each
+// against a fresh view, and publishes the resulting write-sets. A panic
+// inside a handler is captured per transaction (and its write-set
+// withdrawn) so the scheduler can decide whether the panic is
+// deterministic — i.e. whether serial execution would hit it too.
+func (ch *Chain) runWave(mv *state.MultiVersion, txs []*Transaction, times []time.Time, execs []txExec, pending []int, workers int) {
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		for _, i := range pending {
+			ch.execOne(mv, txs, times, execs, i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				ch.execOne(mv, txs, times, execs, i)
+			}
+		}()
+	}
+	for _, i := range pending {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// execOne runs one speculative execution of txs[i] and publishes its
+// write-set under the next incarnation number.
+func (ch *Chain) execOne(mv *state.MultiVersion, txs []*Transaction, times []time.Time, execs []txExec, i int) {
+	e := &execs[i]
+	e.inc++
+	view := state.NewView(mv, i)
+	e.panicked = nil
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				e.panicked = p
+				e.receipt, e.err = nil, nil
+			}
+		}()
+		e.receipt, e.err = ch.applyOn(view, txs[i], times[i])
+	}()
+	prev := e.writes
+	if e.panicked != nil {
+		// A partial write-set must never be visible to other
+		// transactions: withdraw everything this position published.
+		e.writes = nil
+	} else {
+		e.writes = view.Writes()
+	}
+	e.reads = view.Reads()
+	mv.Publish(i, e.inc, e.writes, prev)
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package evm_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// equivalence property test trims its iteration count accordingly.
+const raceEnabled = false

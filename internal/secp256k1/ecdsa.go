@@ -98,7 +98,7 @@ func Sign(key *PrivateKey, digest [32]byte) (Signature, error) {
 		if k == nil {
 			continue
 		}
-		rp := toAffine(scalarBaseMult(k))
+		rp := toAffine(scalarBaseMultG(k))
 		r := new(big.Int).Mod(rp.x, curveN)
 		if r.Sign() == 0 {
 			continue

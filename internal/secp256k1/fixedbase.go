@@ -1,0 +1,99 @@
+package secp256k1
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Fixed-base scalar multiplication k·G for the signing hot path.
+//
+// Signing computes one k·G per signature (the ephemeral point R). The
+// generator never changes, so the multiplication is evaluated against a
+// precomputed comb table: 64 blocks of 4-bit windows,
+//
+//	table[i][d-1] = d · 2^(4i) · G     for d in 1..15,
+//
+// turning k·G into at most 64 mixed additions with zero doublings — the
+// scalar is consumed one nibble at a time and every window's contribution
+// is a single table lookup. The 960-point table is built once (lazily) and
+// normalized to affine with one batched inversion.
+//
+// The naive double-and-add ladder (scalarBaseMult) remains the reference;
+// the comb is gated behind SetFastMult together with the wNAF/GLV path and
+// differential tests pin the two bit-identical.
+
+const (
+	combWindow = 4                // bits per window
+	combBlocks = 256 / combWindow // 64 windows cover a 256-bit scalar
+)
+
+var (
+	combOnce  sync.Once
+	combTable [combBlocks][1<<combWindow - 1]affinePoint
+)
+
+func initCombTable() {
+	// Build every block's odd and even multiples in Jacobian coordinates,
+	// then flatten into one batched affine normalization.
+	jac := make([]jacobianPoint, 0, combBlocks*(1<<combWindow-1))
+	base := fromAffine(affinePoint{x: new(big.Int).Set(curveGx), y: new(big.Int).Set(curveGy)})
+	for i := 0; i < combBlocks; i++ {
+		// block[d-1] = d · base
+		jac = append(jac, base)
+		prev := base
+		for d := 2; d < 1<<combWindow; d++ {
+			prev = addJacobian(prev, base)
+			jac = append(jac, prev)
+		}
+		// Next block base: 2^combWindow · base.
+		for b := 0; b < combWindow; b++ {
+			base = doubleJacobian(base)
+		}
+	}
+	flat := batchToAffine(jac)
+	for i := 0; i < combBlocks; i++ {
+		copy(combTable[i][:], flat[i*(1<<combWindow-1):(i+1)*(1<<combWindow-1)])
+	}
+}
+
+// scalarBaseMultComb computes k·G (k reduced mod n) via the fixed-base
+// comb table.
+func scalarBaseMultComb(k *big.Int) jacobianPoint {
+	combOnce.Do(initCombTable)
+	if k.Sign() == 0 {
+		return newInfinity()
+	}
+	kk := k
+	if k.Sign() < 0 || k.BitLen() > 256 {
+		kk = new(big.Int).Mod(k, curveN)
+		if kk.Sign() == 0 {
+			return newInfinity()
+		}
+	}
+	var kb [32]byte
+	kk.FillBytes(kb[:])
+	s := newLadderScratch()
+	for i := 0; i < combBlocks; i++ {
+		b := kb[31-i/2]
+		nib := b & 0x0f
+		if i%2 == 1 {
+			nib = b >> 4
+		}
+		if nib != 0 {
+			s.addMixedInPlace(combTable[i][nib-1], false)
+		}
+	}
+	if s.isInfinity() {
+		return newInfinity()
+	}
+	return jacobianPoint{x: s.x, y: s.y, z: s.z}
+}
+
+// scalarBaseMultG dispatches between the comb table and the naive
+// reference ladder according to SetFastMult.
+func scalarBaseMultG(k *big.Int) jacobianPoint {
+	if fastMultOn.Load() {
+		return scalarBaseMultComb(k)
+	}
+	return scalarBaseMult(k)
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/keccak"
 	"repro/internal/types"
 )
 
@@ -174,3 +175,40 @@ func (db *DB) RevertToSnapshot(id int) {
 // DiscardJournal drops undo history up to the current point (e.g., at block
 // boundaries once a block is final). Snapshots taken earlier become stale.
 func (db *DB) DiscardJournal() { db.journal = db.journal[:0] }
+
+// ApplyWrites installs the net write-set of a validated optimistic
+// execution. Each mutation is journaled, so snapshots taken before the
+// call roll the write-set back exactly like individually applied
+// mutations would.
+func (db *DB) ApplyWrites(ws *WriteSet) {
+	if ws == nil {
+		return
+	}
+	for addr, data := range ws.accts {
+		acc := db.account(addr)
+		prevBalance := new(big.Int).Set(acc.balance)
+		prevNonce := acc.nonce
+		prevContract := acc.contract
+		acc.balance.Set(data.balanceOrZero())
+		acc.nonce = data.nonce
+		acc.contract = data.contract
+		db.journal = append(db.journal, func() {
+			acc.balance.Set(prevBalance)
+			acc.nonce = prevNonce
+			acc.contract = prevContract
+		})
+	}
+	for k, val := range ws.slots {
+		db.SetState(k.Addr, k.Slot, val)
+	}
+}
+
+// Digest returns a deterministic hash of the full world state: equal
+// states produce equal digests regardless of how they were reached.
+func (db *DB) Digest() (types.Hash, error) {
+	enc, err := db.EncodeSnapshot()
+	if err != nil {
+		return types.Hash{}, err
+	}
+	return types.Hash(keccak.Sum256(enc)), nil
+}

@@ -1,0 +1,512 @@
+// Multi-version memory and per-transaction views for optimistic-parallel
+// execution (Block-STM style).
+//
+// A MultiVersion sits on top of a committed *DB and holds the speculative
+// writes of every transaction in a batch, keyed by (location, txIndex,
+// incarnation). Each transaction executes against its own View: reads
+// resolve to the highest-indexed speculative write below the reader's own
+// index (falling back to the committed base) and are recorded with the
+// Version they observed; writes buffer locally. After execution the view
+// yields a read-set (for validation) and a write-set (for publication and,
+// once the transaction's position is final, application to the base DB).
+//
+// Locations are tracked at two granularities, matching the base DB:
+//   - one record per account (existence, balance, nonce, contract flag) —
+//     balance and nonce conflicts on the same account are real conflicts
+//     in this model because fees always rewrite the sender account;
+//   - one record per (contract, slot) storage word.
+//
+// The base *DB must not be mutated while a MultiVersion built on it is in
+// use; the optimistic scheduler guarantees this by holding the chain mutex
+// for the whole run and applying write-sets only after every position has
+// validated.
+package state
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Version identifies the origin of an observed value: the transaction
+// index whose write was read and that write's incarnation (re-execution
+// count). Reads that fell through to the committed base DB carry
+// BaseVersion.
+type Version struct {
+	Tx  int
+	Inc int
+}
+
+// BaseVersion marks a read served by the committed base DB.
+var BaseVersion = Version{Tx: -1, Inc: 0}
+
+// SlotKey addresses one storage word.
+type SlotKey struct {
+	Addr types.Address
+	Slot types.Hash
+}
+
+// acctData is an immutable snapshot of one account record. A nil balance
+// is treated as zero.
+type acctData struct {
+	exists   bool
+	contract bool
+	nonce    uint64
+	balance  *big.Int
+}
+
+func (a acctData) balanceOrZero() *big.Int {
+	if a.balance == nil {
+		return new(big.Int)
+	}
+	return a.balance
+}
+
+// WriteSet holds the net effect of one transaction execution: final
+// account records and storage words for every location the transaction
+// changed. Values are owned by the set and never mutated after creation.
+type WriteSet struct {
+	accts map[types.Address]acctData
+	slots map[SlotKey]types.Hash
+}
+
+// Len returns the number of distinct locations written.
+func (ws *WriteSet) Len() int {
+	if ws == nil {
+		return 0
+	}
+	return len(ws.accts) + len(ws.slots)
+}
+
+// ReadSet records every location a transaction observed and the Version
+// it observed there.
+type ReadSet struct {
+	accts map[types.Address]Version
+	slots map[SlotKey]Version
+}
+
+// Len returns the number of distinct locations read.
+func (rs *ReadSet) Len() int {
+	if rs == nil {
+		return 0
+	}
+	return len(rs.accts) + len(rs.slots)
+}
+
+const mvShards = 16
+
+type acctEntry struct {
+	tx, inc int
+	data    acctData
+}
+
+type slotEntry struct {
+	tx, inc int
+	val     types.Hash
+}
+
+type mvShard struct {
+	mu    sync.RWMutex
+	accts map[types.Address][]acctEntry // sorted by tx ascending
+	slots map[SlotKey][]slotEntry       // sorted by tx ascending
+}
+
+// MultiVersion is the shared speculative memory of one optimistic batch.
+// Publish/Validate/read may be called concurrently from scheduler workers.
+type MultiVersion struct {
+	base   *DB
+	shards [mvShards]mvShard
+}
+
+// NewMultiVersion creates an empty speculative memory over the committed
+// base state. The base must stay unmodified for the MultiVersion's
+// lifetime.
+func NewMultiVersion(base *DB) *MultiVersion {
+	mv := &MultiVersion{base: base}
+	for i := range mv.shards {
+		mv.shards[i].accts = make(map[types.Address][]acctEntry)
+		mv.shards[i].slots = make(map[SlotKey][]slotEntry)
+	}
+	return mv
+}
+
+func (mv *MultiVersion) acctShard(addr types.Address) *mvShard {
+	return &mv.shards[addr[types.AddressLength-1]%mvShards]
+}
+
+func (mv *MultiVersion) slotShard(k SlotKey) *mvShard {
+	return &mv.shards[(k.Addr[types.AddressLength-1]^k.Slot[types.HashLength-1])%mvShards]
+}
+
+// readAccount resolves an account as seen by the transaction at beforeTx:
+// the highest-indexed speculative write with tx < beforeTx, else the base.
+func (mv *MultiVersion) readAccount(addr types.Address, beforeTx int) (acctData, Version) {
+	sh := mv.acctShard(addr)
+	sh.mu.RLock()
+	entries := sh.accts[addr]
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].tx < beforeTx {
+			data, ver := entries[i].data, Version{Tx: entries[i].tx, Inc: entries[i].inc}
+			sh.mu.RUnlock()
+			return data, ver
+		}
+	}
+	sh.mu.RUnlock()
+	return mv.baseAccount(addr), BaseVersion
+}
+
+func (mv *MultiVersion) baseAccount(addr types.Address) acctData {
+	acc, ok := mv.base.accounts[addr]
+	if !ok {
+		return acctData{}
+	}
+	// The balance pointer aliases live base state; callers copy before
+	// mutating. The base is frozen while the MultiVersion is in use.
+	return acctData{exists: true, contract: acc.contract, nonce: acc.nonce, balance: acc.balance}
+}
+
+// readSlot resolves a storage word as seen by the transaction at beforeTx.
+func (mv *MultiVersion) readSlot(k SlotKey, beforeTx int) (types.Hash, Version) {
+	sh := mv.slotShard(k)
+	sh.mu.RLock()
+	entries := sh.slots[k]
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].tx < beforeTx {
+			val, ver := entries[i].val, Version{Tx: entries[i].tx, Inc: entries[i].inc}
+			sh.mu.RUnlock()
+			return val, ver
+		}
+	}
+	sh.mu.RUnlock()
+	return mv.base.GetState(k.Addr, k.Slot), BaseVersion
+}
+
+// Publish installs the write-set of one (txIndex, incarnation) execution,
+// replacing the previous incarnation's entries. prev is the write-set of
+// the previous incarnation (nil on first execution); locations written
+// then but not now are withdrawn so stale speculative values cannot be
+// read.
+func (mv *MultiVersion) Publish(txIndex, incarnation int, ws, prev *WriteSet) {
+	if prev != nil {
+		for addr := range prev.accts {
+			if _, still := wsAcct(ws, addr); !still {
+				mv.dropAccount(addr, txIndex)
+			}
+		}
+		for k := range prev.slots {
+			if _, still := wsSlot(ws, k); !still {
+				mv.dropSlot(k, txIndex)
+			}
+		}
+	}
+	if ws == nil {
+		return
+	}
+	for addr, data := range ws.accts {
+		sh := mv.acctShard(addr)
+		sh.mu.Lock()
+		sh.accts[addr] = upsertAcct(sh.accts[addr], acctEntry{tx: txIndex, inc: incarnation, data: data})
+		sh.mu.Unlock()
+	}
+	for k, val := range ws.slots {
+		sh := mv.slotShard(k)
+		sh.mu.Lock()
+		sh.slots[k] = upsertSlot(sh.slots[k], slotEntry{tx: txIndex, inc: incarnation, val: val})
+		sh.mu.Unlock()
+	}
+}
+
+func wsAcct(ws *WriteSet, addr types.Address) (acctData, bool) {
+	if ws == nil {
+		return acctData{}, false
+	}
+	d, ok := ws.accts[addr]
+	return d, ok
+}
+
+func wsSlot(ws *WriteSet, k SlotKey) (types.Hash, bool) {
+	if ws == nil {
+		return types.Hash{}, false
+	}
+	v, ok := ws.slots[k]
+	return v, ok
+}
+
+func (mv *MultiVersion) dropAccount(addr types.Address, txIndex int) {
+	sh := mv.acctShard(addr)
+	sh.mu.Lock()
+	entries := sh.accts[addr]
+	for i, e := range entries {
+		if e.tx == txIndex {
+			sh.accts[addr] = append(entries[:i], entries[i+1:]...)
+			break
+		}
+	}
+	sh.mu.Unlock()
+}
+
+func (mv *MultiVersion) dropSlot(k SlotKey, txIndex int) {
+	sh := mv.slotShard(k)
+	sh.mu.Lock()
+	entries := sh.slots[k]
+	for i, e := range entries {
+		if e.tx == txIndex {
+			sh.slots[k] = append(entries[:i], entries[i+1:]...)
+			break
+		}
+	}
+	sh.mu.Unlock()
+}
+
+func upsertAcct(entries []acctEntry, e acctEntry) []acctEntry {
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].tx == e.tx {
+			entries[i] = e
+			return entries
+		}
+		if entries[i].tx < e.tx {
+			entries = append(entries, acctEntry{})
+			copy(entries[i+2:], entries[i+1:])
+			entries[i+1] = e
+			return entries
+		}
+	}
+	return append([]acctEntry{e}, entries...)
+}
+
+func upsertSlot(entries []slotEntry, e slotEntry) []slotEntry {
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].tx == e.tx {
+			entries[i] = e
+			return entries
+		}
+		if entries[i].tx < e.tx {
+			entries = append(entries, slotEntry{})
+			copy(entries[i+2:], entries[i+1:])
+			entries[i+1] = e
+			return entries
+		}
+	}
+	return append([]slotEntry{e}, entries...)
+}
+
+// Validate re-resolves every location in the read-set as the transaction
+// at txIndex would read it now and reports whether each observation still
+// carries the Version recorded at execution time. A false result means a
+// lower-indexed transaction published (or withdrew) a conflicting write
+// after this transaction read, so its execution is not serially
+// equivalent and must be retried.
+func (mv *MultiVersion) Validate(rs *ReadSet, txIndex int) bool {
+	if rs == nil {
+		return true
+	}
+	for addr, ver := range rs.accts {
+		if _, now := mv.readAccount(addr, txIndex); now != ver {
+			return false
+		}
+	}
+	for k, ver := range rs.slots {
+		if _, now := mv.readSlot(k, txIndex); now != ver {
+			return false
+		}
+	}
+	return true
+}
+
+// viewAcct is a view-local working copy of one account plus the values it
+// had when first loaded (used to compute the net write-set).
+type viewAcct struct {
+	exists, contract         bool
+	nonce                    uint64
+	balance                  *big.Int // owned by the view
+	origExists, origContract bool
+	origNonce                uint64
+	origBalance              *big.Int
+}
+
+type viewSlot struct {
+	cur, orig types.Hash
+}
+
+// View gives one transaction execution an isolated, journaled window onto
+// the multi-version memory. It implements the same mutation surface as
+// *DB (the subset transaction execution uses) so the EVM layer can run
+// unchanged against either. A View is not safe for concurrent use; each
+// scheduler worker owns the views it creates.
+type View struct {
+	mv      *MultiVersion
+	txIndex int
+	accts   map[types.Address]*viewAcct
+	slots   map[SlotKey]*viewSlot
+	reads   ReadSet
+	journal []func()
+}
+
+// NewView creates a fresh view for the transaction at txIndex. Each
+// incarnation (re-execution) must use a new view.
+func NewView(mv *MultiVersion, txIndex int) *View {
+	return &View{
+		mv:      mv,
+		txIndex: txIndex,
+		accts:   make(map[types.Address]*viewAcct, 8),
+		slots:   make(map[SlotKey]*viewSlot, 8),
+		reads: ReadSet{
+			accts: make(map[types.Address]Version, 8),
+			slots: make(map[SlotKey]Version, 8),
+		},
+	}
+}
+
+func (v *View) acct(addr types.Address) *viewAcct {
+	if va, ok := v.accts[addr]; ok {
+		return va
+	}
+	data, ver := v.mv.readAccount(addr, v.txIndex)
+	v.reads.accts[addr] = ver
+	bal := new(big.Int).Set(data.balanceOrZero())
+	va := &viewAcct{
+		exists: data.exists, contract: data.contract, nonce: data.nonce,
+		balance:    bal,
+		origExists: data.exists, origContract: data.contract, origNonce: data.nonce,
+		origBalance: new(big.Int).Set(bal),
+	}
+	v.accts[addr] = va
+	return va
+}
+
+// Exists reports whether the address has ever been touched.
+func (v *View) Exists(addr types.Address) bool { return v.acct(addr).exists }
+
+// Balance returns a copy of the account balance (zero for fresh accounts).
+func (v *View) Balance(addr types.Address) *big.Int {
+	return new(big.Int).Set(v.acct(addr).balance)
+}
+
+// touch marks the account as existing, mirroring DB.account's
+// create-on-access journal entry.
+func (v *View) touch(va *viewAcct) {
+	if va.exists {
+		return
+	}
+	va.exists = true
+	v.journal = append(v.journal, func() { va.exists = false })
+}
+
+// AddBalance credits amount to addr.
+func (v *View) AddBalance(addr types.Address, amount *big.Int) {
+	va := v.acct(addr)
+	v.touch(va)
+	if amount == nil || amount.Sign() == 0 {
+		return
+	}
+	prev := new(big.Int).Set(va.balance)
+	va.balance.Add(va.balance, amount)
+	v.journal = append(v.journal, func() { va.balance.Set(prev) })
+}
+
+// SubBalance debits amount from addr, failing if the balance is
+// insufficient.
+func (v *View) SubBalance(addr types.Address, amount *big.Int) error {
+	if amount == nil || amount.Sign() == 0 {
+		return nil
+	}
+	va := v.acct(addr)
+	if va.balance.Cmp(amount) < 0 {
+		return fmt.Errorf("%w: %s has %s, needs %s", ErrInsufficientBalance, addr, va.balance, amount)
+	}
+	v.touch(va)
+	prev := new(big.Int).Set(va.balance)
+	va.balance.Sub(va.balance, amount)
+	v.journal = append(v.journal, func() { va.balance.Set(prev) })
+	return nil
+}
+
+// Nonce returns the account nonce.
+func (v *View) Nonce(addr types.Address) uint64 { return v.acct(addr).nonce }
+
+// IncNonce increments the account nonce.
+func (v *View) IncNonce(addr types.Address) {
+	va := v.acct(addr)
+	v.touch(va)
+	prev := va.nonce
+	va.nonce++
+	v.journal = append(v.journal, func() { va.nonce = prev })
+}
+
+// IsContract reports whether addr is a contract account.
+func (v *View) IsContract(addr types.Address) bool { return v.acct(addr).contract }
+
+func (v *View) slot(k SlotKey) *viewSlot {
+	if vs, ok := v.slots[k]; ok {
+		return vs
+	}
+	val, ver := v.mv.readSlot(k, v.txIndex)
+	v.reads.slots[k] = ver
+	vs := &viewSlot{cur: val, orig: val}
+	v.slots[k] = vs
+	return vs
+}
+
+// GetState reads a storage word of a contract.
+func (v *View) GetState(addr types.Address, slot types.Hash) types.Hash {
+	return v.slot(SlotKey{Addr: addr, Slot: slot}).cur
+}
+
+// SetState writes a storage word and returns the previous value.
+func (v *View) SetState(addr types.Address, slot types.Hash, value types.Hash) types.Hash {
+	vs := v.slot(SlotKey{Addr: addr, Slot: slot})
+	prev := vs.cur
+	vs.cur = value
+	v.journal = append(v.journal, func() { vs.cur = prev })
+	return prev
+}
+
+// Snapshot returns an identifier that can later be passed to
+// RevertToSnapshot to roll back every mutation made since.
+func (v *View) Snapshot() int { return len(v.journal) }
+
+// RevertToSnapshot undoes all mutations recorded after the snapshot was
+// taken. Read-set entries are kept: even reverted reads were observed and
+// could have changed the execution path, so they still gate validity.
+func (v *View) RevertToSnapshot(id int) {
+	if id < 0 || id > len(v.journal) {
+		return
+	}
+	for i := len(v.journal) - 1; i >= id; i-- {
+		v.journal[i]()
+	}
+	v.journal = v.journal[:id]
+}
+
+// Reads returns the locations this view observed. Valid until the view is
+// reused.
+func (v *View) Reads() *ReadSet { return &v.reads }
+
+// Writes extracts the net write-set: every location whose final value
+// differs from the value first loaded. Writes that were reverted (or
+// overwritten back to the original value) produce no entry, matching the
+// net effect a serial execution would have had on the DB.
+func (v *View) Writes() *WriteSet {
+	ws := &WriteSet{
+		accts: make(map[types.Address]acctData, len(v.accts)),
+		slots: make(map[SlotKey]types.Hash, len(v.slots)),
+	}
+	for addr, va := range v.accts {
+		if va.exists == va.origExists && va.contract == va.origContract &&
+			va.nonce == va.origNonce && va.balance.Cmp(va.origBalance) == 0 {
+			continue
+		}
+		ws.accts[addr] = acctData{
+			exists: va.exists, contract: va.contract, nonce: va.nonce,
+			balance: new(big.Int).Set(va.balance),
+		}
+	}
+	for k, vs := range v.slots {
+		if vs.cur != vs.orig {
+			ws.slots[k] = vs.cur
+		}
+	}
+	return ws
+}

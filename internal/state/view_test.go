@@ -1,0 +1,276 @@
+package state
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestViewReadsFallThroughToBase(t *testing.T) {
+	base := New()
+	a := addr(1)
+	base.AddBalance(a, big.NewInt(100))
+	base.IncNonce(a)
+	base.SetState(a, slot(0), slot(9))
+
+	mv := NewMultiVersion(base)
+	v := NewView(mv, 3)
+	if got := v.Balance(a); got.Cmp(big.NewInt(100)) != 0 {
+		t.Errorf("balance = %s, want 100", got)
+	}
+	if v.Nonce(a) != 1 {
+		t.Errorf("nonce = %d, want 1", v.Nonce(a))
+	}
+	if v.GetState(a, slot(0)) != slot(9) {
+		t.Error("slot read missed the base value")
+	}
+	if !v.Exists(a) || v.Exists(addr(2)) {
+		t.Error("existence mismatch")
+	}
+	rs := v.Reads()
+	if rs.accts[a] != BaseVersion {
+		t.Errorf("account version = %+v, want base", rs.accts[a])
+	}
+	if rs.slots[SlotKey{Addr: a, Slot: slot(0)}] != BaseVersion {
+		t.Error("slot version should be base")
+	}
+}
+
+func TestSpeculativeReadsSeeHighestLowerTx(t *testing.T) {
+	base := New()
+	a := addr(1)
+	base.AddBalance(a, big.NewInt(10))
+	mv := NewMultiVersion(base)
+
+	// tx 1 and tx 3 publish writes to the same account.
+	for _, tx := range []int{1, 3} {
+		w := NewView(mv, tx)
+		w.AddBalance(a, big.NewInt(int64(tx)))
+		mv.Publish(tx, 1, w.Writes(), nil)
+	}
+
+	// tx 1 read the base (10) and wrote 11; tx 3 read tx 1's 11 and wrote
+	// 14.
+	cases := []struct {
+		reader int
+		want   int64
+		ver    Version
+	}{
+		{0, 10, BaseVersion}, // below every write: base
+		{1, 10, BaseVersion}, // own index is excluded
+		{2, 11, Version{Tx: 1, Inc: 1}},
+		{4, 14, Version{Tx: 3, Inc: 1}},
+	}
+	for _, tc := range cases {
+		v := NewView(mv, tc.reader)
+		if got := v.Balance(a); got.Cmp(big.NewInt(tc.want)) != 0 {
+			t.Errorf("reader %d: balance = %s, want %d", tc.reader, got, tc.want)
+		}
+		if ver := v.Reads().accts[a]; ver != tc.ver {
+			t.Errorf("reader %d: version = %+v, want %+v", tc.reader, ver, tc.ver)
+		}
+	}
+}
+
+func TestValidateDetectsConflictAndWithdrawal(t *testing.T) {
+	base := New()
+	a := addr(7)
+	base.AddBalance(a, big.NewInt(50))
+	mv := NewMultiVersion(base)
+
+	// tx 2 reads the account before tx 1 publishes: version is base.
+	reader := NewView(mv, 2)
+	_ = reader.Balance(a)
+	if !mv.Validate(reader.Reads(), 2) {
+		t.Fatal("clean read-set should validate")
+	}
+
+	// tx 1 publishes a write to the same account: tx 2's read is stale.
+	w := NewView(mv, 1)
+	w.AddBalance(a, big.NewInt(1))
+	ws := w.Writes()
+	mv.Publish(1, 1, ws, nil)
+	if mv.Validate(reader.Reads(), 2) {
+		t.Fatal("stale read-set validated")
+	}
+
+	// Re-execution of tx 2 now observes tx 1's version and validates.
+	reader2 := NewView(mv, 2)
+	_ = reader2.Balance(a)
+	if !mv.Validate(reader2.Reads(), 2) {
+		t.Fatal("refreshed read-set should validate")
+	}
+
+	// Withdrawing tx 1's write (empty next incarnation) invalidates again.
+	mv.Publish(1, 2, nil, ws)
+	if mv.Validate(reader2.Reads(), 2) {
+		t.Fatal("read of a withdrawn write validated")
+	}
+}
+
+func TestPublishReplacesIncarnationAndWithdrawsStaleKeys(t *testing.T) {
+	base := New()
+	a, b := addr(3), addr(4)
+	mv := NewMultiVersion(base)
+
+	// Incarnation 1 writes both accounts.
+	w1 := NewView(mv, 0)
+	w1.AddBalance(a, big.NewInt(5))
+	w1.AddBalance(b, big.NewInt(6))
+	ws1 := w1.Writes()
+	mv.Publish(0, 1, ws1, nil)
+
+	// Incarnation 2 writes only a; b's stale entry must vanish.
+	w2 := NewView(mv, 0)
+	w2.AddBalance(a, big.NewInt(7))
+	ws2 := w2.Writes()
+	mv.Publish(0, 2, ws2, ws1)
+
+	r := NewView(mv, 1)
+	if got := r.Balance(a); got.Cmp(big.NewInt(7)) != 0 {
+		t.Errorf("a = %s, want 7", got)
+	}
+	if ver := r.Reads().accts[a]; ver != (Version{Tx: 0, Inc: 2}) {
+		t.Errorf("a version = %+v", ver)
+	}
+	if got := r.Balance(b); got.Sign() != 0 {
+		t.Errorf("b = %s, want 0 (stale write withdrawn)", got)
+	}
+	if ver := r.Reads().accts[b]; ver != BaseVersion {
+		t.Errorf("b version = %+v, want base", ver)
+	}
+}
+
+func TestViewNetWritesSkipRevertedAndRestoredValues(t *testing.T) {
+	base := New()
+	a, b := addr(1), addr(2)
+	base.AddBalance(a, big.NewInt(100))
+	mv := NewMultiVersion(base)
+
+	v := NewView(mv, 0)
+	// A write fully undone by a revert leaves no net entry.
+	snap := v.Snapshot()
+	v.AddBalance(b, big.NewInt(30))
+	v.SetState(a, slot(1), slot(5))
+	v.RevertToSnapshot(snap)
+	// A value overwritten back to its original is also no net change.
+	v.SetState(a, slot(2), slot(8))
+	v.SetState(a, slot(2), types.Hash{})
+	// One real write survives.
+	if err := v.SubBalance(a, big.NewInt(40)); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := v.Writes()
+	if ws.Len() != 1 {
+		t.Fatalf("write-set has %d entries, want 1 (only a's balance)", ws.Len())
+	}
+	if got := ws.accts[a]; got.balance.Cmp(big.NewInt(60)) != 0 {
+		t.Errorf("a's net balance = %s, want 60", got.balance)
+	}
+	// Reverted reads are still reads: b and both slots gate validity.
+	rs := v.Reads()
+	if rs.Len() != 4 {
+		t.Errorf("read-set has %d entries, want 4", rs.Len())
+	}
+}
+
+func TestViewSubBalanceMatchesDBError(t *testing.T) {
+	base := New()
+	a := addr(9)
+	base.AddBalance(a, big.NewInt(3))
+	mv := NewMultiVersion(base)
+	v := NewView(mv, 0)
+
+	verr := v.SubBalance(a, big.NewInt(10))
+	derr := base.SubBalance(a, big.NewInt(10))
+	if verr == nil || derr == nil {
+		t.Fatal("expected insufficient-balance errors")
+	}
+	if !errors.Is(verr, ErrInsufficientBalance) {
+		t.Error("view error does not wrap ErrInsufficientBalance")
+	}
+	if verr.Error() != derr.Error() {
+		t.Errorf("error text diverges:\nview: %s\ndb:   %s", verr, derr)
+	}
+}
+
+func TestApplyWritesRoundTripsThroughDB(t *testing.T) {
+	base := New()
+	a := addr(5)
+	base.AddBalance(a, big.NewInt(100))
+	mv := NewMultiVersion(base)
+
+	v := NewView(mv, 0)
+	if err := v.SubBalance(a, big.NewInt(25)); err != nil {
+		t.Fatal(err)
+	}
+	v.IncNonce(a)
+	v.SetState(a, slot(3), slot(1))
+
+	base.ApplyWrites(v.Writes())
+	base.DiscardJournal()
+	if got := base.Balance(a); got.Cmp(big.NewInt(75)) != 0 {
+		t.Errorf("balance = %s, want 75", got)
+	}
+	if base.Nonce(a) != 1 {
+		t.Errorf("nonce = %d, want 1", base.Nonce(a))
+	}
+	if base.GetState(a, slot(3)) != slot(1) {
+		t.Error("slot write lost")
+	}
+}
+
+func TestApplyWritesIsJournaled(t *testing.T) {
+	base := New()
+	a := addr(6)
+	base.AddBalance(a, big.NewInt(10))
+	mv := NewMultiVersion(base)
+
+	v := NewView(mv, 0)
+	v.AddBalance(a, big.NewInt(5))
+	v.IncNonce(a)
+
+	snap := base.Snapshot()
+	base.ApplyWrites(v.Writes())
+	base.RevertToSnapshot(snap)
+	if got := base.Balance(a); got.Cmp(big.NewInt(10)) != 0 {
+		t.Errorf("balance after revert = %s, want 10", got)
+	}
+	if base.Nonce(a) != 0 {
+		t.Errorf("nonce after revert = %d, want 0", base.Nonce(a))
+	}
+}
+
+func TestDigestTracksStateChanges(t *testing.T) {
+	db1, db2 := New(), New()
+	d1a, err := db1.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2a, err := db2.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1a != d2a {
+		t.Error("empty DBs digest differently")
+	}
+	db1.AddBalance(addr(1), big.NewInt(1))
+	d1b, err := db1.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1b == d1a {
+		t.Error("digest did not change with state")
+	}
+	db2.AddBalance(addr(1), big.NewInt(1))
+	d2b, err := db2.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1b != d2b {
+		t.Error("equal states digest differently")
+	}
+}
